@@ -1,0 +1,39 @@
+"""Table I — embedded runtime / memory of both encoders (ARM-class model).
+
+Regenerates the paper's Table I rows (runtime per image, dynamic memory,
+code memory at D = 1K and 8K) and reports the headline speedups.
+"""
+
+from conftest import publish
+
+from repro.eval import experiments as ex
+from repro.eval.tables import render_table
+
+
+def _rows():
+    return ex.table1_embedded(dims=(1024, 8192))
+
+
+def test_table1_embedded(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=3, iterations=1)
+    text = render_table(
+        ["design", "D", "runtime (s)", "dyn. mem (KB)", "code (KB)",
+         "paper runtime", "paper mem"],
+        [(r.design, r.dim, r.runtime_s, r.dynamic_memory_kb,
+          r.code_memory_kb, r.paper_runtime_s, r.paper_memory_kb)
+         for r in rows],
+        title="Table I - performance on the ARM-class embedded model",
+    )
+    by_key = {(r.design, r.dim): r for r in rows}
+    for dim in (1024, 8192):
+        speedup = (by_key[("baseline", dim)].runtime_s
+                   / by_key[("uhd", dim)].runtime_s)
+        mem_ratio = (by_key[("baseline", dim)].dynamic_memory_kb
+                     / by_key[("uhd", dim)].dynamic_memory_kb)
+        text += (f"\nD={dim}: speedup {speedup:.1f}x"
+                 f" (paper {43.8 if dim == 1024 else 102.3}x),"
+                 f" memory ratio {mem_ratio:.1f}x"
+                 f" (paper {10.4 if dim == 1024 else 23.6}x)")
+        assert speedup > 10.0
+        assert mem_ratio > 5.0
+    publish("table1_embedded", text)

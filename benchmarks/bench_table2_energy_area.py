@@ -1,0 +1,37 @@
+"""Table II — energy and area-delay of hypervector generation.
+
+Regenerates the per-hypervector / per-image energy and the area x delay
+product for uHD vs the baseline at D = 1K / 2K / 8K from the gate-level
+netlists and the 45 nm-class cell library.
+"""
+
+from conftest import publish
+
+from repro.eval import experiments as ex
+from repro.eval.tables import render_table
+
+
+def _rows():
+    return ex.table2_energy_area(dims=(1024, 2048, 8192))
+
+
+def test_table2_energy_area(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["design", "D", "E/HV (pJ)", "E/image (pJ)", "area x delay (m^2 s)",
+         "paper E/HV (pJ)", "paper AxD"],
+        [(r.design, r.dim, r.energy_per_hv_pj, r.energy_per_image_pj,
+          r.area_delay_m2s, r.paper_energy_per_hv_pj, r.paper_area_delay_m2s)
+         for r in rows],
+        title="Table II - energy and area-delay (gate-level model)",
+    )
+    by_key = {(r.design, r.dim): r for r in rows}
+    for dim in (1024, 2048, 8192):
+        ratio = (by_key[("baseline", dim)].energy_per_hv_pj
+                 / by_key[("uhd", dim)].energy_per_hv_pj)
+        paper_ratio = (by_key[("baseline", dim)].paper_energy_per_hv_pj
+                       / by_key[("uhd", dim)].paper_energy_per_hv_pj)
+        text += (f"\nD={dim}: uHD per-HV energy advantage {ratio:.1f}x "
+                 f"(paper {paper_ratio:.0f}x)")
+        assert ratio > 2.0
+    publish("table2_energy_area", text)

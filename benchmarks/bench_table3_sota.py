@@ -1,0 +1,30 @@
+"""Table III — whole-system energy efficiency vs published SOTA.
+
+Our row is computed from the embedded cost model (whole encode pipeline,
+baseline over uHD); the seven SOTA rows are quoted from the surveys the
+paper cites.  The reproduced claim: this work tops the ranking.
+"""
+
+from conftest import publish
+
+from repro.eval import experiments as ex
+from repro.eval.tables import render_table
+
+
+def _rows():
+    return ex.table3_sota(dim=1024)
+
+
+def test_table3_sota(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=3, iterations=1)
+    text = render_table(
+        ["framework", "platform", "energy efficiency (x)"],
+        [(r.framework, r.platform, r.energy_efficiency) for r in rows],
+        title="Table III - energy efficiency over baseline architectures",
+    )
+    measured = next(r for r in rows if "measured" in r.framework)
+    quoted = [r for r in rows if not r.is_this_work]
+    assert all(measured.energy_efficiency > r.energy_efficiency for r in quoted)
+    text += (f"\nmeasured this-work ratio: {measured.energy_efficiency:.2f}x "
+             f"(paper: 31.83x) - ranks first, as in the paper")
+    publish("table3_sota", text)

@@ -1,0 +1,35 @@
+"""Table V — uHD vs baseline accuracy on the five non-MNIST datasets.
+
+Procedural stand-ins for CIFAR-10, BloodMNIST, BreastMNIST, FashionMNIST
+and SVHN (see DESIGN.md substitutions), one dimension by default
+(REPRO_FULL=1 adds the full D sweep).
+"""
+
+import os
+
+from conftest import publish
+
+from repro.eval import experiments as ex
+from repro.eval.tables import render_table
+
+_DIMS = (1024, 2048, 8192) if os.environ.get("REPRO_FULL") == "1" else (1024,)
+
+
+def _rows():
+    return ex.table5_datasets(dims=_DIMS)
+
+
+def test_table5_datasets(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = render_table(
+        ["dataset", "D", "uHD (%)", "baseline (%)", "paper uHD", "paper baseline"],
+        [(r.dataset, r.dim, r.uhd, r.baseline, r.paper_uhd, r.paper_baseline)
+         for r in rows],
+        title="Table V - accuracy across datasets (procedural stand-ins)",
+    )
+    chance = {"cifar10": 10.0, "blood": 12.5, "breast": 50.0,
+              "fashion": 10.0, "svhn": 10.0}
+    for row in rows:
+        assert row.uhd > chance[row.dataset] + 5.0, row.dataset
+        assert row.baseline > chance[row.dataset] + 5.0, row.dataset
+    publish("table5_datasets", text)

@@ -1,0 +1,66 @@
+"""Micro-benchmarks: software throughput of the reproduction's hot paths.
+
+Not a paper table — these are the timings a downstream user of the library
+cares about (encode rate, comparator batch rate, netlist simulation rate),
+measured with pytest-benchmark's statistical machinery.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SobolLevelEncoder, UHDConfig
+from repro.hardware import Simulator
+from repro.hardware.circuits import (
+    build_unary_comparator,
+    random_value_pairs,
+    unary_comparator_stimulus,
+)
+from repro.hdc import BaselineConfig, BaselineHDC
+from repro.unary import UnaryStreamTable, unary_ge_batch
+
+
+@pytest.fixture(scope="module")
+def images():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, size=(32, 28, 28), dtype=np.uint8)
+
+
+def test_uhd_encode_throughput(benchmark, images):
+    encoder = SobolLevelEncoder(784, UHDConfig(dim=1024))
+    result = benchmark(encoder.encode_batch, images)
+    assert result.shape == (32, 1024)
+
+
+def test_baseline_encode_throughput(benchmark, images):
+    model = BaselineHDC(784, 10, BaselineConfig(dim=1024, seed=0))
+    levels = np.random.default_rng(1).integers(0, 16, size=(32, 784))
+    result = benchmark(model.encoder.encode_batch, levels)
+    assert result.shape == (32, 1024)
+
+
+def test_unary_comparator_batch_throughput(benchmark):
+    table = UnaryStreamTable(16)
+    rng = np.random.default_rng(2)
+    first = table.fetch_batch(rng.integers(0, 16, size=4096))
+    second = table.fetch_batch(rng.integers(0, 16, size=4096))
+    result = benchmark(unary_ge_batch, first, second)
+    assert result.shape == (4096,)
+
+
+def test_netlist_simulation_rate(benchmark):
+    netlist = build_unary_comparator(16)
+    stimulus = unary_comparator_stimulus(16, random_value_pairs(16, 100, seed=0))
+
+    def run():
+        sim = Simulator(netlist)
+        return sim.run(stimulus)
+
+    outputs = benchmark(run)
+    assert len(outputs) == 100
+
+
+def test_sobol_generation_rate(benchmark):
+    from repro.lds import sobol_sequences
+
+    result = benchmark(sobol_sequences, 784, 1024, 7)
+    assert result.shape == (784, 1024)

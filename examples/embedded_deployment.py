@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Table I what-if explorer: the ARM-class deployment cost model.
+
+Sweeps hypervector dimension and shows per-image runtime, dynamic memory,
+and code footprint for both encoders on the modelled ARM1176-class core —
+the trade-off a practitioner sizing an edge deployment would study.
+
+Run:  python examples/embedded_deployment.py
+"""
+
+from repro.embedded import (
+    ArmCoreModel,
+    BASELINE_CODE_BYTES,
+    UHD_CODE_BYTES,
+    baseline_image_ops,
+    baseline_memory,
+    uhd_image_ops,
+    uhd_memory,
+)
+from repro.eval.tables import render_table
+
+H = 784  # 28 x 28 input
+
+
+def main() -> None:
+    core = ArmCoreModel()
+    rows = []
+    for dim in (512, 1024, 2048, 4096, 8192):
+        base_ops = baseline_image_ops(H, dim)
+        uhd_ops = uhd_image_ops(H, dim)
+        base_rt = core.runtime_seconds(base_ops)
+        uhd_rt = core.runtime_seconds(uhd_ops)
+        rows.append((
+            dim,
+            f"{base_rt * 1e3:.1f}",
+            f"{uhd_rt * 1e3:.2f}",
+            f"{base_rt / uhd_rt:.1f}x",
+            f"{baseline_memory(H, dim).total_kb:.0f}",
+            f"{uhd_memory(H, dim).total_kb:.0f}",
+        ))
+    print(render_table(
+        ["D", "baseline ms/img", "uHD ms/img", "speedup",
+         "baseline KB", "uHD KB"],
+        rows,
+        title="Embedded deployment cost (ARM1176-class model, 700 MHz)",
+    ))
+    print(f"\ncode size: baseline {sum(BASELINE_CODE_BYTES.values()) / 1024:.1f} KB, "
+          f"uHD {sum(UHD_CODE_BYTES.values()) / 1024:.1f} KB")
+    print("\nper-image energy (core model):")
+    for dim in (1024, 8192):
+        base_e = core.energy_joules(baseline_image_ops(H, dim))
+        uhd_e = core.energy_joules(uhd_image_ops(H, dim))
+        print(f"  D={dim}: baseline {base_e * 1e3:.2f} mJ vs uHD "
+              f"{uhd_e * 1e3:.3f} mJ -> {base_e / uhd_e:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: train uHD and the baseline HDC on digit images.
+
+Demonstrates the two headline properties of the paper:
+
+1. uHD trains in a **single deterministic pass** (same seed = same model,
+   no iteration sweep).
+2. The baseline's accuracy **fluctuates across random hypervector draws**,
+   which is why it needs iterative re-generation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    BaselineConfig,
+    BaselineHDC,
+    UHDClassifier,
+    UHDConfig,
+    load_dataset,
+)
+from repro.utils import Stopwatch
+
+DIM = 1024
+
+
+def main() -> None:
+    data = load_dataset("mnist", n_train=800, n_test=400).grayscale()
+    print(f"dataset: {data.name}, {data.train_images.shape[0]} train / "
+          f"{data.test_images.shape[0]} test, {data.num_pixels} pixels")
+
+    with Stopwatch() as sw:
+        uhd = UHDClassifier(data.num_pixels, data.num_classes, UHDConfig(dim=DIM))
+        uhd.fit(data.train_images, data.train_labels)
+        uhd_acc = uhd.score(data.test_images, data.test_labels)
+    print(f"\nuHD (D={DIM}, single pass): {uhd_acc:.1%} in {sw.elapsed:.1f}s")
+
+    print("\nbaseline HDC across three random hypervector draws:")
+    baseline = BaselineHDC(data.num_pixels, data.num_classes,
+                           BaselineConfig(dim=DIM))
+    for iteration in range(3):
+        baseline.reseed(iteration)
+        baseline.fit(data.train_images, data.train_labels)
+        acc = baseline.score(data.test_images, data.test_labels)
+        print(f"  draw i={iteration + 1}: {acc:.1%}")
+
+    # Determinism check: a fresh uHD model reproduces bit-identical results.
+    again = UHDClassifier(data.num_pixels, data.num_classes, UHDConfig(dim=DIM))
+    again.fit(data.train_images, data.train_labels)
+    assert again.score(data.test_images, data.test_labels) == uhd_acc
+    print("\nuHD re-run reproduced the identical accuracy (deterministic).")
+
+
+if __name__ == "__main__":
+    main()

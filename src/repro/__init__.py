@@ -1,0 +1,46 @@
+"""uHD: Unary Processing for Lightweight and Dynamic Hyperdimensional Computing.
+
+Full reproduction of Aygun, Shoushtari Moghadam & Najafi (DATE 2024).
+
+Quickstart::
+
+    from repro import UHDClassifier, UHDConfig, load_dataset
+
+    data = load_dataset("mnist", n_train=1000, n_test=500).grayscale()
+    model = UHDClassifier(data.num_pixels, data.num_classes,
+                          UHDConfig(dim=1024))
+    model.fit(data.train_images, data.train_labels)
+    print(model.score(data.test_images, data.test_labels))
+
+Subpackages: :mod:`repro.core` (the uHD contribution), :mod:`repro.hdc`
+(baseline HDC substrate), :mod:`repro.unary` (unary bit-stream computing),
+:mod:`repro.lds` (low-discrepancy sequences), :mod:`repro.hardware`
+(gate-level netlists + 45 nm energy/area model), :mod:`repro.embedded`
+(ARM-class cost model for Table I), :mod:`repro.datasets`,
+:mod:`repro.eval` (per-table experiment runners).
+"""
+
+from .core import (
+    SobolLevelEncoder,
+    UHDClassifier,
+    UHDConfig,
+    UnaryDomainEncoder,
+    masking_binarize,
+)
+from .datasets import ImageDataset, load_dataset
+from .hdc import BaselineConfig, BaselineHDC
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UHDClassifier",
+    "UHDConfig",
+    "SobolLevelEncoder",
+    "UnaryDomainEncoder",
+    "masking_binarize",
+    "BaselineHDC",
+    "BaselineConfig",
+    "ImageDataset",
+    "load_dataset",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface: regenerate any table or figure by ID.
+
+Usage::
+
+    repro-uhd list
+    repro-uhd table1
+    repro-uhd table4 --dims 1024 2048
+    repro-uhd fig6
+    repro-uhd checkpoints
+
+Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
+sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .eval import experiments as ex
+from .eval.figures import ascii_chart
+from .eval.tables import render_table
+
+__all__ = ["main"]
+
+
+def _dims_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dims", type=int, nargs="+", default=[1024, 2048, 8192],
+        help="hypervector dimensions to sweep",
+    )
+
+
+def _cmd_table1(_: argparse.Namespace) -> str:
+    rows = ex.table1_embedded()
+    return render_table(
+        ["design", "D", "runtime_s", "dyn_mem_KB", "code_KB",
+         "paper_runtime_s", "paper_mem_KB"],
+        [(r.design, r.dim, r.runtime_s, r.dynamic_memory_kb, r.code_memory_kb,
+          r.paper_runtime_s, r.paper_memory_kb) for r in rows],
+        title="Table I - embedded platform performance",
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    rows = ex.table2_energy_area(dims=tuple(args.dims))
+    return render_table(
+        ["design", "D", "E/HV (pJ)", "E/image (pJ)", "AxD (m^2 s)",
+         "paper E/HV", "paper AxD"],
+        [(r.design, r.dim, r.energy_per_hv_pj, r.energy_per_image_pj,
+          r.area_delay_m2s, r.paper_energy_per_hv_pj, r.paper_area_delay_m2s)
+         for r in rows],
+        title="Table II - energy and area-delay",
+    )
+
+
+def _cmd_table3(_: argparse.Namespace) -> str:
+    rows = ex.table3_sota()
+    return render_table(
+        ["framework", "platform", "energy efficiency (x)"],
+        [(r.framework, r.platform, r.energy_efficiency) for r in rows],
+        title="Table III - energy efficiency vs SOTA",
+    )
+
+
+def _cmd_table4(args: argparse.Namespace) -> str:
+    rows = ex.table4_mnist_accuracy(dims=tuple(args.dims))
+    checkpoints = sorted(rows[0].baseline_by_checkpoint) if rows else []
+    headers = ["D"] + [f"base i<={c}" for c in checkpoints] + [
+        "uHD", "paper base i=1", "paper uHD"]
+    body = [
+        [r.dim] + [r.baseline_by_checkpoint[c] for c in checkpoints]
+        + [r.uhd, r.paper_baseline_i1, r.paper_uhd]
+        for r in rows
+    ]
+    return render_table(headers, body, title="Table IV - MNIST accuracy (%)")
+
+
+def _cmd_table5(args: argparse.Namespace) -> str:
+    rows = ex.table5_datasets(dims=tuple(args.dims))
+    return render_table(
+        ["dataset", "D", "uHD", "baseline", "paper uHD", "paper baseline"],
+        [(r.dataset, r.dim, r.uhd, r.baseline, r.paper_uhd, r.paper_baseline)
+         for r in rows],
+        title="Table V - accuracy across datasets (%)",
+    )
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    series = ex.fig6a_iteration_series(dim=args.dims[0])
+    uhd = ex.fig6c_uhd_series(dims=tuple(args.dims))
+    lines = [
+        "Fig. 6(a) - baseline accuracy per random draw:",
+        ascii_chart(series, label=f"D={args.dims[0]}"),
+        "",
+        "Fig. 6(b) - prior art (quoted):",
+    ]
+    for point in ex.fig6b_prior_art():
+        retrain = "w/ retrain" if point.retrained else "w/o retrain"
+        lines.append(f"  {point.label}: {point.accuracy_percent:.2f}% "
+                     f"@ D={point.dim} ({retrain})")
+    lines.append("")
+    lines.append("Fig. 6(c) - uHD single-pass accuracy:")
+    for dim, acc in uhd.items():
+        lines.append(f"  D={dim}: {acc:.2f}%")
+    return "\n".join(lines)
+
+
+def _cmd_checkpoints(_: argparse.Namespace) -> str:
+    rows = [
+        ex.checkpoint1_generation(),
+        ex.checkpoint2_comparator(),
+        ex.checkpoint3_binarize(),
+    ]
+    return render_table(
+        ["checkpoint", "uHD (fJ)", "baseline (fJ)", "measured ratio",
+         "paper ratio"],
+        [(r.name, r.uhd_fj, r.baseline_fj, r.measured_ratio, r.paper_ratio)
+         for r in rows],
+        title="Design checkpoints 1-3 - energy",
+    )
+
+
+def _cmd_report(_: argparse.Namespace) -> str:
+    from .eval.report import build_experiments_markdown
+
+    return build_experiments_markdown("benchmarks/results")
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "table4": _cmd_table4,
+    "table5": _cmd_table5,
+    "fig6": _cmd_fig6,
+    "checkpoints": _cmd_checkpoints,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``repro-uhd``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-uhd",
+        description="Regenerate tables/figures of the uHD paper (DATE 2024).",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiment IDs")
+    for name in _COMMANDS:
+        cmd = sub.add_parser(name, help=f"reproduce {name}")
+        _dims_arg(cmd)
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available experiments:", ", ".join(sorted(_COMMANDS)))
+        return 0
+    print(_COMMANDS[args.command](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

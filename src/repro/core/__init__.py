@@ -1,0 +1,22 @@
+"""uHD — the paper's primary contribution.
+
+* :class:`UHDConfig` — hyper-parameters (D, xi, LD family, seed).
+* :class:`SobolLevelEncoder` — position-free level-only encoding (Fig. 2).
+* :class:`UnaryDomainEncoder` — the bit-exact unary datapath (Fig. 3/5).
+* :class:`UHDClassifier` — end-to-end single-pass classifier.
+"""
+
+from .config import UHDConfig
+from .encoder import SobolLevelEncoder
+from .model import UHDClassifier
+from .streaming import StreamingUHD
+from .unary_encoder import UnaryDomainEncoder, masking_binarize
+
+__all__ = [
+    "UHDConfig",
+    "SobolLevelEncoder",
+    "UnaryDomainEncoder",
+    "UHDClassifier",
+    "StreamingUHD",
+    "masking_binarize",
+]

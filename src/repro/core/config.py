@@ -1,0 +1,67 @@
+"""Configuration of the uHD system (paper Section III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["UHDConfig"]
+
+_LDS_FAMILIES = ("sobol", "halton")
+
+
+@dataclass(frozen=True)
+class UHDConfig:
+    """Hyper-parameters of the uHD encoder/classifier.
+
+    Attributes
+    ----------
+    dim:
+        Hypervector dimension D (the paper sweeps 1K / 2K / 8K).
+    levels:
+        Quantization levels xi for intensities and Sobol scalars
+        (Fig. 3(a); xi = 16 -> M = 4-bit storage, N = 16-bit unary streams).
+    quantized:
+        When true (paper default) comparisons happen between M-bit codes —
+        the arithmetic twin of the unary-domain datapath.  When false the
+        encoder compares full-precision scalars (an ablation; the paper
+        notes quantization does not affect accuracy).
+    lds:
+        Low-discrepancy family: ``"sobol"`` (the paper) or ``"halton"``
+        (ablation).
+    seed:
+        Seed of the Sobol direction integers.  uHD is deterministic given
+        this seed — the "single-iteration training" property.
+    digital_shift:
+        Optional per-dimension digital shift of the LD sequences (extra
+        decorrelation; off in the paper).
+    binarize:
+        Classifier policy — see
+        :class:`repro.hdc.classifier.CentroidClassifier` for why the
+        accuracy path defaults to non-binarized centroids.
+    """
+
+    dim: int = 1024
+    levels: int = 16
+    quantized: bool = True
+    lds: str = "sobol"
+    seed: int = 2024
+    digital_shift: bool = False
+    binarize: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+        if self.lds not in _LDS_FAMILIES:
+            raise ValueError(f"lds must be one of {_LDS_FAMILIES}, got {self.lds!r}")
+
+    @property
+    def quantization_bits(self) -> int:
+        """M = log2(xi), the stored scalar width of Fig. 3(a)."""
+        return int(self.levels - 1).bit_length()
+
+    @property
+    def stream_length(self) -> int:
+        """N, the unary bit-stream length (= xi in the paper)."""
+        return self.levels

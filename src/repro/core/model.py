@@ -1,0 +1,68 @@
+"""End-to-end uHD classifier (encoder + single-pass centroid training).
+
+Mirrors :class:`repro.hdc.baseline.BaselineHDC` so the two models are
+drop-in comparable, with the crucial difference the paper exists for:
+training is **deterministic** — one pass, no iteration sweep, because the
+Sobol codebook is fixed by its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hdc.classifier import CentroidClassifier
+from .config import UHDConfig
+from .encoder import SobolLevelEncoder
+
+__all__ = ["UHDClassifier"]
+
+
+class UHDClassifier:
+    """The uHD image classifier of Fig. 2/Fig. 5."""
+
+    def __init__(
+        self, num_pixels: int, num_classes: int, config: UHDConfig | None = None
+    ) -> None:
+        self.config = config if config is not None else UHDConfig()
+        self.num_pixels = num_pixels
+        self.num_classes = num_classes
+        self.encoder = SobolLevelEncoder(num_pixels, self.config)
+        self._classifier: CentroidClassifier | None = None
+
+    def _encode_images(self, images: np.ndarray) -> np.ndarray:
+        return self.encoder.encode_batch(np.asarray(images))
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "UHDClassifier":
+        """Single-pass training (the paper's i = 1)."""
+        encoded = self._encode_images(images)
+        self._classifier = CentroidClassifier(
+            self.num_classes, self.config.dim, binarize=self.config.binarize
+        )
+        self._classifier.fit(encoded, np.asarray(labels))
+        return self
+
+    def retrain(self, images: np.ndarray, labels: np.ndarray, epochs: int = 1) -> int:
+        """Optional perceptron refinement (extension; off in the paper)."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier.retrain(self._encode_images(images),
+                                        np.asarray(labels), epochs=epochs)
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class labels via cosine similarity against class hypervectors."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier.predict(self._encode_images(images))
+
+    def score(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled batch."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier.score(self._encode_images(images), np.asarray(labels))
+
+    @property
+    def classifier(self) -> CentroidClassifier:
+        """The underlying centroid classifier (fitted)."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier

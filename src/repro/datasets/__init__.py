@@ -1,0 +1,48 @@
+"""Image datasets for the paper's evaluation (Section IV).
+
+Six datasets, shape-compatible with the originals; MNIST loads real IDX
+files when available.  All access goes through :func:`load_dataset`.
+"""
+
+from .base import ImageDataset, stratified_indices
+from .cifar import CIFAR_NAMES, render_object, synthetic_cifar10
+from .digits import DIGIT_NAMES, render_digit, synthetic_mnist
+from .fashion import FASHION_NAMES, render_garment, synthetic_fashion
+from .idx import load_real_mnist, parse_idx
+from .medical import (
+    BLOOD_NAMES,
+    BREAST_NAMES,
+    render_blood_cell,
+    render_breast_scan,
+    synthetic_blood,
+    synthetic_breast,
+)
+from .registry import DATASET_NAMES, load_dataset
+from .svhn import SVHN_NAMES, render_house_number, synthetic_svhn
+
+__all__ = [
+    "ImageDataset",
+    "stratified_indices",
+    "load_dataset",
+    "DATASET_NAMES",
+    "synthetic_mnist",
+    "synthetic_fashion",
+    "synthetic_cifar10",
+    "synthetic_blood",
+    "synthetic_breast",
+    "synthetic_svhn",
+    "render_digit",
+    "render_garment",
+    "render_object",
+    "render_blood_cell",
+    "render_breast_scan",
+    "render_house_number",
+    "load_real_mnist",
+    "parse_idx",
+    "DIGIT_NAMES",
+    "FASHION_NAMES",
+    "CIFAR_NAMES",
+    "BLOOD_NAMES",
+    "BREAST_NAMES",
+    "SVHN_NAMES",
+]

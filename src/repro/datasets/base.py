@@ -1,0 +1,118 @@
+"""Common dataset container and split utilities.
+
+Every generator in this package returns an :class:`ImageDataset` whose
+images are uint8 with shape ``(n, H, W)`` (grayscale) or ``(n, H, W, 3)``
+(RGB).  The HDC pipelines consume flattened grayscale intensities, so RGB
+datasets expose a luma conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ImageDataset", "stratified_indices"]
+
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def stratified_indices(
+    labels: np.ndarray, per_class: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``per_class`` indices of every label value, shuffled together."""
+    labels = np.asarray(labels)
+    chosen = []
+    for cls in np.unique(labels):
+        pool = np.flatnonzero(labels == cls)
+        if pool.size < per_class:
+            raise ValueError(
+                f"class {cls} has only {pool.size} samples, need {per_class}"
+            )
+        chosen.append(rng.choice(pool, size=per_class, replace=False))
+    indices = np.concatenate(chosen)
+    rng.shuffle(indices)
+    return indices
+
+
+@dataclass(frozen=True)
+class ImageDataset:
+    """A labelled train/test image classification dataset."""
+
+    name: str
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+    class_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.train_images.shape[0] != self.train_labels.shape[0]:
+            raise ValueError("train images and labels disagree in count")
+        if self.test_images.shape[0] != self.test_labels.shape[0]:
+            raise ValueError("test images and labels disagree in count")
+        if self.train_images.dtype != np.uint8 or self.test_images.dtype != np.uint8:
+            raise ValueError("images must be uint8")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def image_shape(self) -> tuple[int, ...]:
+        return self.train_images.shape[1:]
+
+    @property
+    def is_rgb(self) -> bool:
+        return self.train_images.ndim == 4
+
+    @property
+    def num_pixels(self) -> int:
+        """Pixel count H of the grayscale view (what the encoders see)."""
+        shape = self.image_shape
+        return int(shape[0]) * int(shape[1])
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def grayscale(self) -> "ImageDataset":
+        """Luma-converted copy; grayscale datasets are returned unchanged.
+
+        The paper encodes pixel *intensities*, so RGB datasets (CIFAR-10,
+        BloodMNIST, SVHN) are collapsed to a single channel before HDC.
+        """
+        if not self.is_rgb:
+            return self
+
+        def convert(images: np.ndarray) -> np.ndarray:
+            return np.rint(images.astype(np.float64) @ _LUMA).astype(np.uint8)
+
+        return ImageDataset(
+            name=self.name,
+            train_images=convert(self.train_images),
+            train_labels=self.train_labels,
+            test_images=convert(self.test_images),
+            test_labels=self.test_labels,
+            class_names=self.class_names,
+        )
+
+    def subset(self, n_train: int, n_test: int, seed: int = 0) -> "ImageDataset":
+        """Class-stratified subset with ``n_train``/``n_test`` total samples."""
+        rng = np.random.default_rng(seed)
+        per_train = n_train // self.num_classes
+        per_test = n_test // self.num_classes
+        if per_train < 1 or per_test < 1:
+            raise ValueError("need at least one sample per class in each split")
+        train_idx = stratified_indices(self.train_labels, per_train, rng)
+        test_idx = stratified_indices(self.test_labels, per_test, rng)
+        return ImageDataset(
+            name=self.name,
+            train_images=self.train_images[train_idx],
+            train_labels=self.train_labels[train_idx],
+            test_images=self.test_images[test_idx],
+            test_labels=self.test_labels[test_idx],
+            class_names=self.class_names,
+        )

@@ -1,0 +1,180 @@
+"""Procedural medical images (BloodMNIST and BreastMNIST stand-ins).
+
+* Blood cells: 8 classes matching BloodMNIST's taxonomy, rendered as RGB
+  microscope-style patches — cytoplasm disc plus a class-specific nucleus
+  morphology (lobed, kidney-shaped, dense, fragmented, ...).
+* Breast ultrasound: binary malignant vs. benign, rendered as grayscale
+  speckle textures with a lesion whose border regularity separates the
+  classes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ImageDataset
+from .render import add_gaussian_noise, box_blur, canvas, draw_ellipse, normalize_to_uint8
+
+__all__ = [
+    "render_blood_cell",
+    "render_breast_scan",
+    "synthetic_blood",
+    "synthetic_breast",
+    "BLOOD_NAMES",
+    "BREAST_NAMES",
+]
+
+BLOOD_NAMES = (
+    "basophil", "eosinophil", "erythroblast", "immature-granulocyte",
+    "lymphocyte", "monocyte", "neutrophil", "platelet",
+)
+BREAST_NAMES = ("malignant", "benign")
+
+
+def _nucleus_blobs(
+    label: int, center: tuple[float, float], rng: np.random.Generator
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Class-specific nucleus geometry: list of (center, radii) ellipses."""
+    cx, cy = center
+    jitter = lambda s: rng.uniform(-s, s)  # noqa: E731 - tiny local helper
+    if label == 0:  # basophil: dense round nucleus
+        return [((cx, cy), (0.16, 0.16))]
+    if label == 1:  # eosinophil: bi-lobed
+        return [((cx - 0.08, cy + jitter(0.02)), (0.09, 0.11)),
+                ((cx + 0.08, cy + jitter(0.02)), (0.09, 0.11))]
+    if label == 2:  # erythroblast: small dark round nucleus
+        return [((cx, cy), (0.11, 0.11))]
+    if label == 3:  # immature granulocyte: large oval nucleus
+        return [((cx + jitter(0.03), cy + jitter(0.03)), (0.17, 0.13))]
+    if label == 4:  # lymphocyte: nucleus fills most of the cell
+        return [((cx, cy), (0.15, 0.15))]
+    if label == 5:  # monocyte: kidney shape = big lobe + notch lobe
+        return [((cx - 0.03, cy), (0.15, 0.13)),
+                ((cx + 0.10, cy + 0.02), (0.07, 0.08))]
+    if label == 6:  # neutrophil: tri-lobed
+        return [((cx - 0.10, cy - 0.04), (0.07, 0.07)),
+                ((cx + 0.02, cy + 0.08), (0.07, 0.07)),
+                ((cx + 0.11, cy - 0.05), (0.07, 0.07))]
+    if label == 7:  # platelet: tiny fragment, no true nucleus
+        return [((cx, cy), (0.05, 0.04))]
+    raise ValueError(f"label must be 0-7, got {label}")
+
+
+def render_blood_cell(
+    label: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One RGB float image in [0, 1] of a single blood cell."""
+    # Pinkish smear background with illumination gradient.
+    base = np.array([0.93, 0.80, 0.84]) + rng.normal(0, 0.02, 3)
+    img = np.ones((size, size, 3), dtype=np.float64) * base[None, None, :]
+    ramp = np.linspace(-0.04, 0.04, size)
+    img += ramp[None, :, None] * rng.uniform(0.3, 1.0)
+
+    center = (0.5 + rng.uniform(-0.06, 0.06), 0.5 + rng.uniform(-0.06, 0.06))
+    cell_radius = 0.30 if label != 7 else 0.10  # platelets are fragments
+    cyto_color = np.array([0.85, 0.66, 0.78]) + rng.normal(0, 0.03, 3)
+    nucleus_color = np.array([0.45, 0.25, 0.55]) + rng.normal(0, 0.03, 3)
+
+    cyto = canvas(size)
+    draw_ellipse(cyto, center, (cell_radius * rng.uniform(0.9, 1.1),
+                                cell_radius * rng.uniform(0.9, 1.1)), 1.0)
+    nucleus = canvas(size)
+    for blob_center, blob_radii in _nucleus_blobs(label, center, rng):
+        draw_ellipse(nucleus, blob_center, blob_radii, 1.0)
+    if label == 1:  # eosinophil granules: bright red speckle in cytoplasm
+        granules = (rng.random((size, size)) > 0.85) & (cyto > 0)
+        img[granules] = np.array([0.85, 0.35, 0.35])
+
+    for channel in range(3):
+        plane = img[:, :, channel]
+        plane[cyto > 0] = cyto_color[channel]
+        if label == 1:
+            granules_plane = granules
+            plane[granules_plane] = [0.85, 0.35, 0.35][channel]
+        plane[nucleus > 0] = nucleus_color[channel]
+        img[:, :, channel] = box_blur(plane, radius=1)
+    noise = rng.normal(0.0, 0.03, img.shape)
+    return np.clip(img + noise, 0.0, 1.0)
+
+
+def render_breast_scan(
+    label: int, size: int, rng: np.random.Generator
+) -> np.ndarray:
+    """One grayscale float ultrasound-style image in [0, 1].
+
+    Label 0 (malignant): irregular spiculated hypoechoic mass.
+    Label 1 (benign): smooth oval lesion or near-uniform tissue.
+    """
+    if label not in (0, 1):
+        raise ValueError(f"label must be 0 or 1, got {label}")
+    # Multiplicative speckle over a depth-attenuated field.
+    depth = np.linspace(1.0, 0.55, size)[:, None]
+    tissue = 0.55 * depth * np.ones((size, size))
+    speckle = rng.gamma(shape=4.0, scale=0.25, size=(size, size))
+    img = np.clip(tissue * speckle, 0.0, 1.0)
+
+    center = (0.5 + rng.uniform(-0.08, 0.08), 0.45 + rng.uniform(-0.08, 0.08))
+    lesion = canvas(size)
+    if label == 1:
+        draw_ellipse(lesion, center, (rng.uniform(0.12, 0.18), rng.uniform(0.09, 0.13)),
+                     1.0, angle=rng.uniform(-0.4, 0.4))
+    else:
+        # Malignant: a core blob plus radiating spicule lobes.
+        core = (rng.uniform(0.10, 0.14), rng.uniform(0.10, 0.14))
+        draw_ellipse(lesion, center, core, 1.0)
+        for _ in range(rng.integers(4, 7)):
+            angle = rng.uniform(0, 2 * np.pi)
+            dist = rng.uniform(0.08, 0.14)
+            spike_center = (center[0] + dist * np.cos(angle),
+                            center[1] + dist * np.sin(angle))
+            spike_center = (float(np.clip(spike_center[0], 0.1, 0.9)),
+                            float(np.clip(spike_center[1], 0.1, 0.9)))
+            draw_ellipse(lesion, spike_center,
+                         (rng.uniform(0.03, 0.06), rng.uniform(0.02, 0.04)),
+                         1.0, angle=angle)
+    attenuation = 0.75 if label == 1 else 0.88
+    img = img * (1.0 - attenuation * lesion)
+    img = box_blur(img, radius=1)
+    return add_gaussian_noise(img, rng, sigma=0.02)
+
+
+def _build_rgb_dataset(name, renderer, class_names, n_train, n_test, seed, size):
+    rng = np.random.default_rng(seed)
+    num_classes = len(class_names)
+
+    def make_split(count: int):
+        labels = np.arange(count) % num_classes
+        rng.shuffle(labels)
+        images = np.stack(
+            [normalize_to_uint8(renderer(int(lbl), size, rng)) for lbl in labels]
+        )
+        return images, labels.astype(np.int64)
+
+    train_images, train_labels = make_split(n_train)
+    test_images, test_labels = make_split(n_test)
+    return ImageDataset(
+        name=name,
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+        class_names=class_names,
+    )
+
+
+def synthetic_blood(
+    n_train: int = 800, n_test: int = 400, seed: int = 0, size: int = 28
+) -> ImageDataset:
+    """Balanced 8-class RGB blood-cell dataset with BloodMNIST's shape."""
+    return _build_rgb_dataset(
+        "synthetic-blood", render_blood_cell, BLOOD_NAMES, n_train, n_test, seed, size
+    )
+
+
+def synthetic_breast(
+    n_train: int = 400, n_test: int = 200, seed: int = 0, size: int = 28
+) -> ImageDataset:
+    """Balanced binary grayscale breast-ultrasound dataset."""
+    return _build_rgb_dataset(
+        "synthetic-breast", render_breast_scan, BREAST_NAMES, n_train, n_test, seed, size
+    )

@@ -1,0 +1,54 @@
+"""Name-keyed access to every dataset the paper evaluates.
+
+``load_dataset("mnist", ...)`` prefers real MNIST IDX files under
+``REPRO_MNIST_DIR`` (or ``./data/mnist``) and falls back to the procedural
+generator; the other five datasets are always procedural (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from .base import ImageDataset
+from .cifar import synthetic_cifar10
+from .digits import synthetic_mnist
+from .fashion import synthetic_fashion
+from .idx import load_real_mnist
+from .medical import synthetic_blood, synthetic_breast
+from .svhn import synthetic_svhn
+
+__all__ = ["DATASET_NAMES", "load_dataset"]
+
+_FACTORIES: dict[str, Callable[..., ImageDataset]] = {
+    "mnist": synthetic_mnist,
+    "fashion": synthetic_fashion,
+    "cifar10": synthetic_cifar10,
+    "blood": synthetic_blood,
+    "breast": synthetic_breast,
+    "svhn": synthetic_svhn,
+}
+
+DATASET_NAMES = tuple(_FACTORIES)
+
+
+def _mnist_directory() -> Path:
+    return Path(os.environ.get("REPRO_MNIST_DIR", "data/mnist"))
+
+
+def load_dataset(
+    name: str, n_train: int = 1000, n_test: int = 500, seed: int = 0
+) -> ImageDataset:
+    """Load one of the paper's six datasets by name.
+
+    Real MNIST is used when IDX files exist (subsetted to the requested
+    sizes); everything else is generated procedurally with the given seed.
+    """
+    if name not in _FACTORIES:
+        raise ValueError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    if name == "mnist":
+        real = load_real_mnist(_mnist_directory())
+        if real is not None:
+            return real.subset(n_train, n_test, seed=seed)
+    return _FACTORIES[name](n_train=n_train, n_test=n_test, seed=seed)

@@ -1,0 +1,31 @@
+"""Embedded-platform cost models (paper Table I).
+
+* :class:`ArmCoreModel` — ARM1176-class cycle costs.
+* :mod:`repro.embedded.profiles` — op-by-op traces of both encoders.
+* :mod:`repro.embedded.memory` — resident-byte accounting.
+"""
+
+from .cost_model import ArmCoreModel, OperationCounts
+from .memory import MemoryFootprint, baseline_memory, uhd_memory
+from .profiles import (
+    BASELINE_CODE_BYTES,
+    UHD_CODE_BYTES,
+    baseline_image_ops,
+    baseline_pixel_dim_ops,
+    uhd_image_ops,
+    uhd_pixel_dim_ops,
+)
+
+__all__ = [
+    "ArmCoreModel",
+    "OperationCounts",
+    "MemoryFootprint",
+    "baseline_memory",
+    "uhd_memory",
+    "baseline_image_ops",
+    "uhd_image_ops",
+    "baseline_pixel_dim_ops",
+    "uhd_pixel_dim_ops",
+    "BASELINE_CODE_BYTES",
+    "UHD_CODE_BYTES",
+]

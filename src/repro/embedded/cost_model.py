@@ -1,0 +1,97 @@
+"""ARM11-class instruction cost model (paper Table I substrate).
+
+The paper runs low-level C implementations of both encoders on an
+ARM1176JZF-S (700 MHz, single issue, no hardware integer divide).  We
+model runtime as operation counts times per-class cycle costs — the
+standard first-order embedded estimate.  The cycle costs are
+ARM1176-flavoured calibration constants:
+
+* ``load``/``store``: L1-hit costs.
+* ``alu``: single-cycle data-processing ops (ADD/CMP/EOR/shift).
+* ``mul``: 32-bit MUL (2 cycles on ARM11).
+* ``branch``: folded/predicted average.
+* ``rng_call``: one ``rand()``-and-normalize step.  ARM1176 has **no
+  integer divide instruction** — libc ``rand()`` plus the modulo/divide
+  normalisation compiles to a software division loop, which is why a
+  pseudo-random hypervector bit costs two orders of magnitude more than a
+  table-compare (the effect Table I measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OperationCounts", "ArmCoreModel"]
+
+
+@dataclass
+class OperationCounts:
+    """Dynamic operation counts of one routine execution."""
+
+    loads: int = 0
+    stores: int = 0
+    alu: int = 0
+    mul: int = 0
+    branches: int = 0
+    rng_calls: int = 0
+
+    def __add__(self, other: "OperationCounts") -> "OperationCounts":
+        return OperationCounts(
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            alu=self.alu + other.alu,
+            mul=self.mul + other.mul,
+            branches=self.branches + other.branches,
+            rng_calls=self.rng_calls + other.rng_calls,
+        )
+
+    def scaled(self, factor: int) -> "OperationCounts":
+        """The counts of ``factor`` repetitions."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return OperationCounts(
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            alu=self.alu * factor,
+            mul=self.mul * factor,
+            branches=self.branches * factor,
+            rng_calls=self.rng_calls * factor,
+        )
+
+    @property
+    def total_ops(self) -> int:
+        return (self.loads + self.stores + self.alu + self.mul
+                + self.branches + self.rng_calls)
+
+
+@dataclass(frozen=True)
+class ArmCoreModel:
+    """Cycle-cost table and clock of the modelled core."""
+
+    clock_hz: float = 700e6
+    load_cycles: float = 3.0
+    store_cycles: float = 2.0
+    alu_cycles: float = 1.0
+    mul_cycles: float = 2.0
+    branch_cycles: float = 2.0
+    rng_call_cycles: float = 220.0
+    energy_per_cycle_nj: float = field(default=0.45, repr=False)
+
+    def cycles(self, ops: OperationCounts) -> float:
+        """Total cycles of an operation mix."""
+        return (
+            ops.loads * self.load_cycles
+            + ops.stores * self.store_cycles
+            + ops.alu * self.alu_cycles
+            + ops.mul * self.mul_cycles
+            + ops.branches * self.branch_cycles
+            + ops.rng_calls * self.rng_call_cycles
+        )
+
+    def runtime_seconds(self, ops: OperationCounts) -> float:
+        """Wall-clock seconds at the modelled clock."""
+        return self.cycles(ops) / self.clock_hz
+
+    def energy_joules(self, ops: OperationCounts) -> float:
+        """First-order core energy (cycles x energy-per-cycle)."""
+        return self.cycles(ops) * self.energy_per_cycle_nj * 1e-9

@@ -1,0 +1,69 @@
+"""Byte-accurate dynamic-memory model of both encoders (Table I).
+
+Counts the resident data structures of each design during per-image
+processing, mirroring the C implementations' allocations:
+
+Baseline — the position and level codebooks dominate.  Under the paper's
+dynamic-training target they are materialised as word-addressed arrays
+(int32 elements: ARM stores +-1 hypervector elements in words for the
+multiply-accumulate loop), plus a floating-point RNG scratch row.
+
+uHD — only the M-bit quantized Sobol codes (two codes packed per byte at
+M = 4), the 16-entry UST, and the accumulators.  No position hypervectors
+at all (contribution ②).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryFootprint", "baseline_memory", "uhd_memory"]
+
+_INT32 = 4
+_INT64 = 8
+_DOUBLE = 8
+_INT8 = 1
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Named byte counts; ``total_kb`` mirrors Table I's unit."""
+
+    parts: dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.parts.values())
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bytes / 1024.0
+
+
+def baseline_memory(num_pixels: int, dim: int, levels: int = 16) -> MemoryFootprint:
+    """Resident bytes of the baseline encoder."""
+    return MemoryFootprint(
+        parts={
+            "position_hypervectors": num_pixels * dim * _INT32,
+            "level_hypervectors": levels * dim * _INT32,
+            "rng_scratch": dim * _DOUBLE,
+            "image_accumulator": dim * _INT64,
+            "class_accumulators": 10 * dim * _INT64,
+        }
+    )
+
+
+def uhd_memory(
+    num_pixels: int, dim: int, levels: int = 16, quantization_bits: int = 4
+) -> MemoryFootprint:
+    """Resident bytes of the uHD encoder."""
+    packed_sobol = (num_pixels * dim * quantization_bits + 7) // 8
+    return MemoryFootprint(
+        parts={
+            "quantized_sobol_codes": packed_sobol,
+            "unary_stream_table": levels * levels // 8,
+            "quantized_image": num_pixels * _INT8,
+            "image_accumulator": dim * _INT64,
+            "class_accumulators": 10 * dim * _INT64,
+        }
+    )

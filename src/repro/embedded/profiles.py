@@ -1,0 +1,97 @@
+"""Operation traces of the two encoders' inner loops (Table I).
+
+These mirror, operation by operation, the C inner loops the paper times:
+
+Baseline, per pixel per dimension (and per hypervector: position *and*
+level), executed fresh each image under the paper's "dynamic and
+independent training" target:
+
+    r = rand() / normalize      <- software divide on ARM11
+    bit = (r > t) ? -1 : +1     <- compare + select
+    bound = p_bit * l_bit       <- binding multiply (XOR in bit domain)
+    acc[j] += bound             <- load + add + store
+
+uHD, per pixel per dimension:
+
+    s = sobol_q[p][j]           <- one M-bit load (amortised by packing)
+    bit = (x_q >= s) ? +1 : -1  <- compare + select (x_q register-resident)
+    acc[j] += bit               <- load + add + store
+
+No rand() calls, no binding multiply, and half the generated vectors —
+that asymmetry is the whole of Table I.
+"""
+
+from __future__ import annotations
+
+from .cost_model import OperationCounts
+
+__all__ = [
+    "baseline_pixel_dim_ops",
+    "uhd_pixel_dim_ops",
+    "baseline_image_ops",
+    "uhd_image_ops",
+    "BASELINE_CODE_BYTES",
+    "UHD_CODE_BYTES",
+]
+
+# Static code-size model: routine footprints in bytes of a -O2 ARM build.
+# The baseline carries the RNG/normalisation and binding routines that the
+# paper reports shaving ~5 KB off the deployed image.
+BASELINE_CODE_BYTES = {
+    "rng_and_normalize": 3200,
+    "position_hv_generation": 2100,
+    "level_hv_generation": 2300,
+    "bind_bundle_loop": 2600,
+    "binarize_comparator": 1500,
+    "classify_cosine": 1800,
+}
+UHD_CODE_BYTES = {
+    "sobol_fetch_compare": 2400,
+    "bundle_loop": 1900,
+    "binarize_masking": 900,
+    "classify_cosine": 1800,
+    "ust_table_init": 1400,
+}
+
+
+def baseline_pixel_dim_ops() -> OperationCounts:
+    """Baseline inner-loop body: one (pixel, dimension) step.
+
+    Two pseudo-random generations (P and L), two threshold compares, one
+    binding multiply, one accumulate.
+    """
+    return OperationCounts(
+        rng_calls=2,      # P bit and L bit
+        alu=5,            # two compares + select logic + loop increment
+        mul=1,            # binding multiply
+        loads=3,          # accumulator + table operands
+        stores=1,         # accumulator write-back
+        branches=1,       # loop
+    )
+
+
+def uhd_pixel_dim_ops() -> OperationCounts:
+    """uHD inner-loop body: one (pixel, dimension) step.
+
+    One packed M-bit Sobol load, one compare-select, one accumulate.
+    """
+    return OperationCounts(
+        loads=2,          # packed Sobol word (amortised) + accumulator
+        alu=3,            # unpack shift + compare + loop increment
+        stores=1,         # accumulator write-back
+        branches=1,       # loop
+    )
+
+
+def baseline_image_ops(num_pixels: int, dim: int) -> OperationCounts:
+    """Full baseline encode of one image (plus binarization pass)."""
+    inner = baseline_pixel_dim_ops().scaled(num_pixels * dim)
+    binarize = OperationCounts(loads=1, alu=2, stores=1).scaled(dim)
+    return inner + binarize
+
+
+def uhd_image_ops(num_pixels: int, dim: int) -> OperationCounts:
+    """Full uHD encode of one image (plus masking binarization pass)."""
+    inner = uhd_pixel_dim_ops().scaled(num_pixels * dim)
+    binarize = OperationCounts(loads=1, alu=1, stores=1).scaled(dim)
+    return inner + binarize

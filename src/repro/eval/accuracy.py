@@ -1,0 +1,96 @@
+"""Accuracy experiment helpers shared by Tables IV/V and Fig. 6.
+
+The paper's accuracy protocol: single-pass centroid training, cosine
+inference, no retraining, no NN assistance.  The baseline re-draws its
+pseudo-random hypervectors per iteration ``i`` and reports accuracy per
+draw; uHD is deterministic and runs once.
+
+Workload scale is environment-switchable: the default sizes keep every
+bench minutes-scale on one core, ``REPRO_FULL=1`` lifts them toward the
+paper's (60k-image) regime.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core import UHDClassifier, UHDConfig
+from ..datasets import ImageDataset, load_dataset
+from ..hdc import BaselineConfig, BaselineHDC
+
+__all__ = [
+    "RunScale",
+    "run_scale",
+    "prepare_dataset",
+    "uhd_accuracy",
+    "baseline_accuracy",
+    "baseline_iteration_accuracies",
+]
+
+
+@dataclass(frozen=True)
+class RunScale:
+    """Sample counts and sweep depths for the accuracy experiments."""
+
+    n_train: int
+    n_test: int
+    max_iterations: int
+
+
+def run_scale() -> RunScale:
+    """The active scale: reduced by default, paper-leaning with REPRO_FULL=1."""
+    if os.environ.get("REPRO_FULL", "0") == "1":
+        return RunScale(n_train=6000, n_test=1500, max_iterations=100)
+    return RunScale(n_train=800, n_test=400, max_iterations=20)
+
+
+def prepare_dataset(name: str, scale: RunScale | None = None, seed: int = 0) -> ImageDataset:
+    """Load, grayscale and size a dataset for the accuracy protocol."""
+    scale = scale or run_scale()
+    data = load_dataset(name, n_train=scale.n_train, n_test=scale.n_test, seed=seed)
+    return data.grayscale()
+
+
+def uhd_accuracy(data: ImageDataset, dim: int, levels: int = 16,
+                 seed: int = 2024) -> float:
+    """Single-run uHD accuracy (the paper's i = 1 column)."""
+    model = UHDClassifier(
+        data.num_pixels, data.num_classes,
+        UHDConfig(dim=dim, levels=levels, seed=seed),
+    )
+    model.fit(data.train_images, data.train_labels)
+    return model.score(data.test_images, data.test_labels)
+
+
+def baseline_accuracy(data: ImageDataset, dim: int, seed: int,
+                      levels: int = 16) -> float:
+    """One baseline draw-and-train run at the given iteration seed."""
+    model = BaselineHDC(
+        data.num_pixels, data.num_classes,
+        BaselineConfig(dim=dim, levels=levels, seed=seed),
+    )
+    model.fit(data.train_images, data.train_labels)
+    return model.score(data.test_images, data.test_labels)
+
+
+def baseline_iteration_accuracies(
+    data: ImageDataset, dim: int, iterations: int, levels: int = 16
+) -> list[float]:
+    """Accuracy per random hypervector draw, i = 1..iterations.
+
+    This is the fluctuation series of Fig. 6(a); Table IV averages its
+    prefixes at the paper's checkpoints.
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    model = BaselineHDC(
+        data.num_pixels, data.num_classes,
+        BaselineConfig(dim=dim, levels=levels, seed=0),
+    )
+    accuracies = []
+    for iteration in range(iterations):
+        model.reseed(iteration)
+        model.fit(data.train_images, data.train_labels)
+        accuracies.append(model.score(data.test_images, data.test_labels))
+    return accuracies

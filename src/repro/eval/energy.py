@@ -1,0 +1,161 @@
+"""Per-operation energies and datapath compositions for Tables II/III and
+the design checkpoints ➊➋➌.
+
+Every number here is produced by simulating the gate-level netlists of
+:mod:`repro.hardware.circuits` with representative stimulus and applying
+the activity-based power model.  Composition formulas:
+
+uHD, one level hypervector (one pixel, D dimensions):
+    ``E = D * (E_sobol_fetch + E_unary_compare) + E_data_fetch``
+    (the data operand's stream is fetched once and reused across D).
+
+Baseline, one bound hypervector (one pixel, D dimensions):
+    ``E = D * (2 * E_lfsr_generate(ceil(log2 D) bits) + E_bind_xor)``
+    (position *and* level bits are generated per dimension; the comparator
+    width grows with D because the paper's level thresholds live in
+    ``[0, D]``).
+
+Per image: ``H`` hypervectors plus ``D`` accumulate-and-binarize runs of
+``H`` cycles each.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from ..hardware.circuits import (
+    UstFetchModel,
+    bit_stream_stimulus,
+    build_bind_unit,
+    build_comparator_binarizer,
+    build_lfsr_hv_generator,
+    build_masking_binarizer,
+    build_unary_comparator,
+    counter_generator_stream_energy_fj,
+    lfsr_generator_stimulus,
+    random_value_pairs,
+    unary_comparator_stimulus,
+)
+from ..hardware.power import dynamic_energy_fj
+from ..hardware.simulator import Simulator
+
+__all__ = [
+    "unary_compare_energy_fj",
+    "ust_fetch_energy_fj",
+    "counter_generator_energy_per_bit_fj",
+    "lfsr_generate_energy_fj",
+    "bind_energy_fj",
+    "binarizer_energy_per_feature_fj",
+    "uhd_hv_energy_fj",
+    "baseline_hv_energy_fj",
+    "uhd_image_energy_fj",
+    "baseline_image_energy_fj",
+]
+
+_SAMPLES = 200
+
+
+@lru_cache(maxsize=None)
+def unary_compare_energy_fj(n: int = 16) -> float:
+    """Mean energy of one N-bit unary comparison (checkpoint ➋, uHD side)."""
+    netlist = build_unary_comparator(n)
+    sim = Simulator(netlist)
+    pairs = random_value_pairs(n, _SAMPLES, seed=11)
+    sim.run(unary_comparator_stimulus(n, pairs))
+    return dynamic_energy_fj(sim).total_fj / _SAMPLES
+
+
+@lru_cache(maxsize=None)
+def ust_fetch_energy_fj(levels: int = 16) -> float:
+    """Mean energy of one UST stream fetch (checkpoint ➊, uHD side)."""
+    return UstFetchModel(levels).average_fetch_energy_fj(samples=_SAMPLES, seed=12)
+
+
+@lru_cache(maxsize=None)
+def counter_generator_energy_per_bit_fj(m: int = 4) -> float:
+    """Per-bit energy of the conventional counter+comparator generator
+    (checkpoint ➊, baseline side), averaged over operand values."""
+    total = 0.0
+    values = range(0, 1 << m, max(1, (1 << m) // 8))
+    for value in values:
+        total += counter_generator_stream_energy_fj(m, value)
+    streams = len(list(values))
+    return total / (streams * (1 << m))
+
+
+@lru_cache(maxsize=None)
+def lfsr_generate_energy_fj(compare_bits: int) -> float:
+    """Energy of generating one pseudo-random hypervector bit: one LFSR
+    step plus one ``compare_bits``-wide magnitude comparison (checkpoint
+    ➋, baseline side)."""
+    width = 16 if compare_bits <= 16 else 20
+    netlist = build_lfsr_hv_generator(width=width, compare_bits=compare_bits)
+    sim = Simulator(netlist)
+    threshold = (1 << compare_bits) // 2
+    sim.run(lfsr_generator_stimulus(compare_bits, threshold, _SAMPLES))
+    return dynamic_energy_fj(sim).total_fj / _SAMPLES
+
+
+@lru_cache(maxsize=None)
+def bind_energy_fj() -> float:
+    """Mean energy of one binding XOR under random operands."""
+    import numpy as np
+
+    netlist = build_bind_unit()
+    sim = Simulator(netlist)
+    rng = np.random.default_rng(13)
+    stimulus = [{"p": int(p), "l": int(l)}
+                for p, l in rng.integers(0, 2, size=(_SAMPLES, 2))]
+    sim.run(stimulus)
+    return dynamic_energy_fj(sim).total_fj / _SAMPLES
+
+
+@lru_cache(maxsize=None)
+def binarizer_energy_per_feature_fj(h: int, design: str) -> float:
+    """Accumulate+binarize energy per incoming feature bit (checkpoint ➌).
+
+    ``design`` is ``"masking"`` (uHD) or ``"comparator"`` (baseline); the
+    netlist counts one full H-bit stream at a balanced ones-fraction.
+    """
+    if design == "masking":
+        netlist = build_masking_binarizer(h)
+    elif design == "comparator":
+        netlist = build_comparator_binarizer(h)
+    else:
+        raise ValueError(f"design must be 'masking' or 'comparator', got {design!r}")
+    sim = Simulator(netlist)
+    sim.run(bit_stream_stimulus(h, ones_fraction=0.5, seed=14))
+    return dynamic_energy_fj(sim).total_fj / h
+
+
+def _baseline_compare_bits(dim: int) -> int:
+    """Width of the baseline's threshold comparator: levels span [0, D]."""
+    return max(int(math.ceil(math.log2(dim))), 4)
+
+
+def uhd_hv_energy_fj(dim: int, levels: int = 16) -> float:
+    """uHD energy to generate one level hypervector (D dimensions)."""
+    fetch = ust_fetch_energy_fj(levels)
+    compare = unary_compare_energy_fj(levels)
+    return dim * (fetch + compare) + fetch
+
+
+def baseline_hv_energy_fj(dim: int) -> float:
+    """Baseline energy to generate one bound P*L hypervector."""
+    generate = lfsr_generate_energy_fj(_baseline_compare_bits(dim))
+    return dim * (2.0 * generate + bind_energy_fj())
+
+
+def uhd_image_energy_fj(dim: int, num_pixels: int = 784, levels: int = 16) -> float:
+    """uHD energy to encode one image: H hypervectors + D binarizer runs."""
+    per_hv = uhd_hv_energy_fj(dim, levels)
+    binarize = binarizer_energy_per_feature_fj(num_pixels, "masking") * num_pixels
+    return num_pixels * per_hv + dim * binarize
+
+
+def baseline_image_energy_fj(dim: int, num_pixels: int = 784) -> float:
+    """Baseline energy to encode one image, comparator binarizer included."""
+    per_hv = baseline_hv_energy_fj(dim)
+    binarize = binarizer_energy_per_feature_fj(num_pixels, "comparator") * num_pixels
+    return num_pixels * per_hv + dim * binarize

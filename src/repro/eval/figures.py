@@ -1,0 +1,52 @@
+"""Figure-series export: CSV files plus terminal-renderable ASCII charts.
+
+The evaluation box has no plotting stack, so figures are emitted as data
+(CSV) with an ASCII sparkline preview — enough to eyeball the shape the
+paper plots (Fig. 6's fluctuation band vs uHD's flat deterministic line).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["write_series_csv", "ascii_chart"]
+
+_BARS = " .:-=+*#%@"
+
+
+def write_series_csv(
+    path: str | Path,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write one figure's data series as CSV; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def ascii_chart(
+    values: Sequence[float],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """Single-row intensity sparkline of a series, with min/max legend."""
+    if not values:
+        raise ValueError("need at least one value")
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    # Resample to the display width.
+    resampled = [
+        values[int(i * len(values) / width)] for i in range(min(width, len(values)))
+    ]
+    chars = "".join(
+        _BARS[int((v - lo) / span * (len(_BARS) - 1))] for v in resampled
+    )
+    prefix = f"{label}: " if label else ""
+    return f"{prefix}[{chars}] min={lo:.2f} max={hi:.2f}"

@@ -1,0 +1,56 @@
+"""Published reference numbers quoted by the paper (Tables III, Fig. 6(b)).
+
+These rows come from the surveys the paper cites (Hassan et al., IEEE
+Access 2022; Chang et al., JETCAS 2023) and from the prior-art accuracy
+points of Fig. 6(b).  They are *quoted constants*, not measurements of
+this reproduction — only the "This work" row of Table III is computed (by
+:func:`repro.eval.experiments.table3_sota`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SotaFramework", "SOTA_ENERGY_EFFICIENCY", "PRIOR_ART_MNIST",
+           "PAPER_TABLE_III_THIS_WORK"]
+
+
+@dataclass(frozen=True)
+class SotaFramework:
+    """One row of Table III: a framework and its energy-efficiency ratio."""
+
+    name: str
+    platform: str
+    energy_efficiency: float  # x over its reference baseline
+
+
+SOTA_ENERGY_EFFICIENCY: tuple[SotaFramework, ...] = (
+    SotaFramework("Semi-HD", "Raspberry Pi", 12.60),
+    SotaFramework("Voice-HD", "Central Processing Unit", 11.90),
+    SotaFramework("tiny-HD", "Microprocessor", 11.20),
+    SotaFramework("PULP-HD", "ARM Microprocessor", 9.90),
+    SotaFramework("Hierarchical-MHD", "Central Processing Unit", 6.60),
+    SotaFramework("AdaptHD", "Raspberry Pi", 6.30),
+    SotaFramework("Laelaps", "Central Processing Unit", 1.40),
+)
+
+# The paper's own Table III entry, for paper-vs-measured reporting.
+PAPER_TABLE_III_THIS_WORK = 31.83
+
+
+@dataclass(frozen=True)
+class PriorArtPoint:
+    """One MNIST accuracy point of Fig. 6(b)."""
+
+    label: str
+    accuracy_percent: float
+    dim: int
+    retrained: bool
+
+
+PRIOR_ART_MNIST: tuple[PriorArtPoint, ...] = (
+    PriorArtPoint("Datta et al. [4]", 75.40, 2048, False),
+    PriorArtPoint("Hassan et al. [19]", 86.00, 10240, False),
+    PriorArtPoint("FL-HDC [28]", 88.00, 10240, True),
+    PriorArtPoint("QuantHD / LDC [9,29]", 87.38, 10240, True),
+)

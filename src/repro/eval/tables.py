@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table; floats are shown with four significant digits."""
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            magnitude = abs(value)
+            if magnitude >= 1e4 or magnitude < 1e-2:
+                return f"{value:.3e}"
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in cells))
+        if cells else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Gate-level hardware substrate: netlists, simulation, power/area/timing.
+
+This package plays the role of the paper's Synopsys Design Compiler flow:
+:mod:`repro.hardware.circuits` holds structural netlists of every datapath
+block the paper characterises; :func:`characterize` runs a stimulus
+through the cycle simulator and reports area, critical path, and
+activity-based dynamic energy against the 45 nm-class cell library.
+"""
+
+from . import circuits
+from .area import area_by_kind, area_um2, rom_area_um2
+from .cells import LIBRARY, Cell, cell
+from .netlist import Flop, Gate, Netlist
+from .power import EnergyBreakdown, dynamic_energy_fj
+from .simulator import Simulator, evaluate_gate
+from .synthesis import SynthesisReport, characterize
+from .timing import arrival_times_ps, critical_path_ps
+from .vcd import VcdRecorder
+from .verilog import to_verilog
+
+__all__ = [
+    "Netlist",
+    "Gate",
+    "Flop",
+    "Simulator",
+    "evaluate_gate",
+    "Cell",
+    "LIBRARY",
+    "cell",
+    "EnergyBreakdown",
+    "dynamic_energy_fj",
+    "area_um2",
+    "area_by_kind",
+    "rom_area_um2",
+    "critical_path_ps",
+    "arrival_times_ps",
+    "SynthesisReport",
+    "characterize",
+    "circuits",
+    "to_verilog",
+    "VcdRecorder",
+]

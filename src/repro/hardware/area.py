@@ -1,0 +1,33 @@
+"""Cell-area accounting (the area half of the paper's area-delay product)."""
+
+from __future__ import annotations
+
+from .cells import cell
+from .netlist import Netlist
+
+__all__ = ["area_um2", "area_by_kind", "rom_area_um2"]
+
+# Per-bit macro area for small ROM/BRAM arrays, 45 nm-class.
+_ROM_UM2_PER_BIT = 0.30
+
+
+def area_um2(netlist: Netlist, memory_bits: int = 0) -> float:
+    """Total placement area: standard cells plus optional memory macro."""
+    total = sum(cell(kind).area_um2 * count
+                for kind, count in netlist.cell_counts().items())
+    return total + rom_area_um2(memory_bits)
+
+
+def area_by_kind(netlist: Netlist) -> dict[str, float]:
+    """Area contribution per cell kind."""
+    return {
+        kind: cell(kind).area_um2 * count
+        for kind, count in netlist.cell_counts().items()
+    }
+
+
+def rom_area_um2(memory_bits: int) -> float:
+    """Macro area of a ROM/BRAM of the given capacity."""
+    if memory_bits < 0:
+        raise ValueError("memory_bits must be non-negative")
+    return memory_bits * _ROM_UM2_PER_BIT

@@ -1,0 +1,90 @@
+"""A 45 nm-class standard-cell library for energy / area / timing models.
+
+The paper synthesises its checkpoints with Synopsys Design Compiler and a
+45 nm cell library.  We substitute a calibrated cell table in the style of
+the NanGate FreePDK45 open library: per-cell area, propagation delay under
+a nominal load, switching energy per output toggle, and leakage.  Absolute
+numbers are library-calibration constants (documented here, asserted
+sane-range in tests); the uHD-vs-baseline *ratios* come from gate counts
+and switching activity of the actual netlists, not from these constants.
+
+Memory macros (the BRAM holding Sobol codes and the UST ROM) cannot be
+built from standard cells; they are modelled as per-bit access energies,
+the same first-order treatment a CACTI-style estimator applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cell", "LIBRARY", "ROM_READ_ENERGY_FJ_PER_BIT", "SRAM_READ_ENERGY_FJ_PER_BIT",
+           "cell", "DFF_CLOCK_ENERGY_FJ"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One standard cell's characterisation data.
+
+    Attributes
+    ----------
+    name:
+        Cell kind (also the key in :data:`LIBRARY`).
+    area_um2:
+        Placement area in square micrometres.
+    delay_ps:
+        Pin-to-pin propagation delay under nominal fan-out, picoseconds.
+    energy_fj:
+        Internal + load switching energy per *output toggle*, femtojoules.
+    leakage_nw:
+        Leakage power in nanowatts (reported, not accumulated into
+        dynamic-energy totals).
+    inputs:
+        Number of input pins (-1 for sequential cells where it differs by
+        role); used by netlist validation.
+    """
+
+    name: str
+    area_um2: float
+    delay_ps: float
+    energy_fj: float
+    leakage_nw: float
+    inputs: int
+
+
+# NanGate FreePDK45-flavoured values (X1 drive, typical corner).
+LIBRARY: dict[str, Cell] = {
+    "CONST0": Cell("CONST0", 0.0, 0.0, 0.0, 0.0, 0),
+    "CONST1": Cell("CONST1", 0.0, 0.0, 0.0, 0.0, 0),
+    "BUF": Cell("BUF", 0.798, 35.0, 0.50, 8.0, 1),
+    "INV": Cell("INV", 0.532, 20.0, 0.35, 6.0, 1),
+    "AND2": Cell("AND2", 1.064, 45.0, 0.85, 12.0, 2),
+    "AND3": Cell("AND3", 1.330, 55.0, 1.05, 15.0, 3),
+    "AND4": Cell("AND4", 1.596, 65.0, 1.25, 18.0, 4),
+    "OR2": Cell("OR2", 1.064, 45.0, 0.85, 12.0, 2),
+    "OR3": Cell("OR3", 1.330, 55.0, 1.05, 15.0, 3),
+    "OR4": Cell("OR4", 1.596, 65.0, 1.25, 18.0, 4),
+    "NAND2": Cell("NAND2", 0.798, 30.0, 0.60, 9.0, 2),
+    "NOR2": Cell("NOR2", 0.798, 35.0, 0.60, 9.0, 2),
+    "XOR2": Cell("XOR2", 1.596, 60.0, 1.60, 20.0, 2),
+    "XNOR2": Cell("XNOR2", 1.596, 60.0, 1.60, 20.0, 2),
+    "MUX2": Cell("MUX2", 1.862, 55.0, 1.40, 22.0, 3),
+    "DFF": Cell("DFF", 4.522, 90.0, 1.80, 45.0, 1),
+}
+
+# Energy a DFF burns on every clock edge even without a Q toggle
+# (internal clock buffering); charged per cycle per flip-flop.
+DFF_CLOCK_ENERGY_FJ = 0.25
+
+# Memory-macro access energies (per bit read), CACTI-style small-array values.
+ROM_READ_ENERGY_FJ_PER_BIT = 0.045
+SRAM_READ_ENERGY_FJ_PER_BIT = 0.09
+
+
+def cell(kind: str) -> Cell:
+    """Look up one cell kind, with a clear error for unknown kinds."""
+    try:
+        return LIBRARY[kind]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell kind {kind!r}; available: {sorted(LIBRARY)}"
+        ) from None

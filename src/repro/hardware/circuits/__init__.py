@@ -1,0 +1,47 @@
+"""The paper's datapath circuits as structural netlists.
+
+* ➊ stream generation: :mod:`.generator`
+* ➋ comparison: :mod:`.unary_comparator`
+* ➌ accumulate + binarize: :mod:`.binarizer`
+* baseline units (LFSR generator, bind XOR): :mod:`.baseline_units`
+"""
+
+from .baseline_units import (
+    build_bind_unit,
+    build_lfsr_hv_generator,
+    lfsr_generator_stimulus,
+)
+from .binarizer import (
+    bit_stream_stimulus,
+    build_comparator_binarizer,
+    build_masking_binarizer,
+)
+from .generator import (
+    UstFetchModel,
+    build_counter_comparator_generator,
+    counter_generator_stream_energy_fj,
+)
+from .unary_comparator import (
+    binary_comparator_stimulus,
+    build_binary_comparator,
+    build_unary_comparator,
+    random_value_pairs,
+    unary_comparator_stimulus,
+)
+
+__all__ = [
+    "build_unary_comparator",
+    "build_binary_comparator",
+    "unary_comparator_stimulus",
+    "binary_comparator_stimulus",
+    "random_value_pairs",
+    "build_counter_comparator_generator",
+    "counter_generator_stream_energy_fj",
+    "UstFetchModel",
+    "build_masking_binarizer",
+    "build_comparator_binarizer",
+    "bit_stream_stimulus",
+    "build_lfsr_hv_generator",
+    "build_bind_unit",
+    "lfsr_generator_stimulus",
+]

@@ -1,0 +1,57 @@
+"""Gate-level units of the baseline HDC datapath (paper Fig. 1, Section IV).
+
+The baseline generates every hypervector bit by comparing an LFSR-supplied
+pseudo-random word against a threshold, and binds position and level bits
+with an XOR.  These netlists feed the Table II energy model.
+"""
+
+from __future__ import annotations
+
+from ...hdc.lfsr import MAXIMAL_TAPS
+from ..components import binary_comparator_ge, build_lfsr
+from ..netlist import Netlist
+
+__all__ = ["build_lfsr_hv_generator", "build_bind_unit", "lfsr_generator_stimulus"]
+
+
+def build_lfsr_hv_generator(width: int = 16, compare_bits: int = 8) -> Netlist:
+    """LFSR + comparator hypervector-bit generator.
+
+    Every cycle the LFSR advances and its low ``compare_bits`` state bits
+    are compared against the threshold input ``t0..``; output ``bit`` is
+    the generated hypervector bit (1 where state >= threshold).  This is
+    the per-dimension generation cost of the baseline's P and L vectors.
+    """
+    if width not in MAXIMAL_TAPS:
+        raise ValueError(
+            f"no maximal taps for width {width}; available {sorted(MAXIMAL_TAPS)}"
+        )
+    if not 1 <= compare_bits <= width:
+        raise ValueError("compare_bits must lie in [1, width]")
+    nl = Netlist(name=f"lfsr_hv_gen_w{width}_c{compare_bits}")
+    state = build_lfsr(nl, width, MAXIMAL_TAPS[width])
+    threshold = [nl.add_input(f"t{i}") for i in range(compare_bits)]
+    ge = binary_comparator_ge(nl, state[:compare_bits], threshold)
+    nl.add_output("bit", ge)
+    for index, net in enumerate(state):
+        nl.add_output(f"state{index}", net)
+    return nl
+
+
+def build_bind_unit() -> Netlist:
+    """The binding XOR of the record encoder (one per dimension per pixel)."""
+    nl = Netlist(name="bind_xor")
+    p = nl.add_input("p")
+    level = nl.add_input("l")
+    nl.add_output("bound", nl.add_gate("XOR2", p, level))
+    return nl
+
+
+def lfsr_generator_stimulus(
+    compare_bits: int, threshold: int, cycles: int
+) -> list[dict[str, int]]:
+    """Hold a constant threshold for ``cycles`` generation steps."""
+    if not 0 <= threshold < (1 << compare_bits):
+        raise ValueError(f"threshold must fit in {compare_bits} bits")
+    vector = {f"t{i}": (threshold >> i) & 1 for i in range(compare_bits)}
+    return [dict(vector) for _ in range(cycles)]

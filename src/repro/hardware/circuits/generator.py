@@ -1,0 +1,111 @@
+"""Gate-level models for design checkpoint ➊ (paper Fig. 3(b) vs 3(c)).
+
+* :func:`build_counter_comparator_generator` — the conventional dynamic
+  unary stream generator: a free-running M-bit counter compared against
+  the M-bit input value, one stream bit per cycle for ``2^M`` cycles.
+* :class:`UstFetchModel` — the proposed associative fetch: an M-bit
+  address register plus one ROM read of the whole N-bit stream.  The ROM
+  array is a memory macro, charged per-bit-read
+  (:data:`repro.hardware.cells.ROM_READ_ENERGY_FJ_PER_BIT`); the address
+  register and its switching are gate-level.
+"""
+
+from __future__ import annotations
+
+from ..cells import ROM_READ_ENERGY_FJ_PER_BIT
+from ..components import binary_comparator_ge, sync_counter
+from ..netlist import Netlist
+from ..power import dynamic_energy_fj
+from ..simulator import Simulator
+
+__all__ = [
+    "build_counter_comparator_generator",
+    "counter_generator_stream_energy_fj",
+    "UstFetchModel",
+]
+
+
+def build_counter_comparator_generator(m: int) -> Netlist:
+    """Counter + comparator stream generator (Fig. 3(b)).
+
+    Inputs ``v0..v{m-1}`` hold the M-bit value; output ``bit`` emits the
+    unary stream over ``2^M`` cycles (``bit = value > counter``, i.e. ones
+    leading).
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    nl = Netlist(name=f"counter_comparator_gen_m{m}")
+    value = [nl.add_input(f"v{i}") for i in range(m)]
+    count = sync_counter(nl, m)
+    # value > counter  ==  NOT(counter >= value)
+    counter_ge_value = binary_comparator_ge(nl, count, value)
+    nl.add_output("bit", nl.add_gate("INV", counter_ge_value))
+    for index, net in enumerate(count):
+        nl.add_output(f"count{index}", net)
+    return nl
+
+
+def counter_generator_stream_energy_fj(m: int, value: int) -> float:
+    """Dynamic energy of generating one full ``2^M``-bit stream."""
+    if not 0 <= value < (1 << m):
+        raise ValueError(f"value must fit in {m} bits")
+    nl = build_counter_comparator_generator(m)
+    sim = Simulator(nl)
+    vector = {f"v{i}": (value >> i) & 1 for i in range(m)}
+    for _ in range(1 << m):
+        sim.step(vector)
+    return dynamic_energy_fj(sim).total_fj
+
+
+class UstFetchModel:
+    """Energy/storage model of the proposed UST associative fetch.
+
+    One fetch = clock the M-bit address register with the new code, then
+    read N bits out of the ROM row.  The register is a real netlist (its
+    toggles depend on consecutive address Hamming distance); the array
+    read is a macro charge.
+    """
+
+    def __init__(self, levels: int = 16, length: int | None = None) -> None:
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        self.levels = levels
+        self.length = levels if length is None else length
+        self.address_bits = (levels - 1).bit_length()
+        self._netlist = self._build_register()
+        self._sim = Simulator(self._netlist)
+
+    def _build_register(self) -> Netlist:
+        nl = Netlist(name=f"ust_address_reg_m{self.address_bits}")
+        for index in range(self.address_bits):
+            d = nl.add_input(f"a{index}")
+            nl.add_output(f"q{index}", nl.add_flop(d))
+        return nl
+
+    @property
+    def memory_bits(self) -> int:
+        """ROM capacity: every possible stream pre-stored."""
+        return self.levels * self.length
+
+    def fetch_sequence_energy_fj(self, codes: list[int]) -> float:
+        """Dynamic energy of fetching a sequence of stream codes."""
+        for code in codes:
+            if not 0 <= code < self.levels:
+                raise ValueError(f"code {code} out of range [0, {self.levels})")
+        self._sim.reset()
+        for code in codes:
+            vector = {f"a{i}": (code >> i) & 1 for i in range(self.address_bits)}
+            self._sim.step(vector)
+        breakdown = dynamic_energy_fj(self._sim)
+        breakdown.add_memory_access(
+            len(codes) * self.length * ROM_READ_ENERGY_FJ_PER_BIT
+        )
+        return breakdown.total_fj
+
+    def average_fetch_energy_fj(self, samples: int = 64, seed: int = 0) -> float:
+        """Mean per-fetch energy over a random code sequence."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        codes = rng.integers(0, self.levels, size=samples).tolist()
+        return self.fetch_sequence_energy_fj(codes) / samples

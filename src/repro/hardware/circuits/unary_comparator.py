@@ -1,0 +1,95 @@
+"""Gate-level netlists for design checkpoint ➋ (paper Fig. 4).
+
+* :func:`build_unary_comparator` — the proposed comparator: per bit one
+  AND2 (minimum), one INV + OR2 (containment check), then an AND tree.
+  Pure combinational, N-bit unary operands.
+* :func:`build_binary_comparator` — the conventional M-bit magnitude
+  comparator it replaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..components import and_tree, binary_comparator_ge
+from ..netlist import Netlist
+
+__all__ = [
+    "build_unary_comparator",
+    "build_binary_comparator",
+    "unary_comparator_stimulus",
+    "binary_comparator_stimulus",
+]
+
+
+def build_unary_comparator(n: int) -> Netlist:
+    """The Fig. 4 comparator for N-bit unary operands.
+
+    Inputs ``d0..d{n-1}`` (data) and ``s0..s{n-1}`` (Sobol); output ``ge``
+    is 1 iff value(d) >= value(s).  The structure is kept literal to the
+    figure: minimum via AND, check via OR against the inverted second
+    operand, decision via N-input AND.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    nl = Netlist(name=f"unary_comparator_n{n}")
+    data = [nl.add_input(f"d{i}") for i in range(n)]
+    sobol = [nl.add_input(f"s{i}") for i in range(n)]
+    checks = []
+    for d_bit, s_bit in zip(data, sobol):
+        minimum = nl.add_gate("AND2", d_bit, s_bit)
+        inverted = nl.add_gate("INV", s_bit)
+        checks.append(nl.add_gate("OR2", minimum, inverted))
+    nl.add_output("ge", and_tree(nl, checks))
+    return nl
+
+
+def build_binary_comparator(m: int) -> Netlist:
+    """Conventional M-bit magnitude comparator (``a >= b``), the baseline."""
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    nl = Netlist(name=f"binary_comparator_m{m}")
+    a = [nl.add_input(f"a{i}") for i in range(m)]
+    b = [nl.add_input(f"b{i}") for i in range(m)]
+    nl.add_output("ge", binary_comparator_ge(nl, a, b))
+    return nl
+
+
+def unary_comparator_stimulus(
+    n: int, pairs: list[tuple[int, int]]
+) -> list[dict[str, int]]:
+    """Input vectors driving value pairs as trailing-ones unary streams."""
+    vectors = []
+    for a, b in pairs:
+        if not (0 <= a <= n and 0 <= b <= n):
+            raise ValueError(f"values must lie in [0, {n}]")
+        vector = {}
+        for i in range(n):
+            vector[f"d{i}"] = 1 if i >= n - a else 0
+            vector[f"s{i}"] = 1 if i >= n - b else 0
+        vectors.append(vector)
+    return vectors
+
+
+def binary_comparator_stimulus(
+    m: int, pairs: list[tuple[int, int]]
+) -> list[dict[str, int]]:
+    """Input vectors driving value pairs as M-bit binary codes."""
+    vectors = []
+    for a, b in pairs:
+        if not (0 <= a < (1 << m) and 0 <= b < (1 << m)):
+            raise ValueError(f"values must fit in {m} bits")
+        vector = {}
+        for i in range(m):
+            vector[f"a{i}"] = (a >> i) & 1
+            vector[f"b{i}"] = (b >> i) & 1
+        vectors.append(vector)
+    return vectors
+
+
+def random_value_pairs(
+    n: int, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Uniform operand pairs in [0, n] for energy-averaging stimulus."""
+    rng = np.random.default_rng(seed)
+    return [tuple(pair) for pair in rng.integers(0, n + 1, size=(count, 2))]

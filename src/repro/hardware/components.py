@@ -1,0 +1,232 @@
+"""Parametric RTL-style component builders over :class:`Netlist`.
+
+Buses are Python lists of net handles, LSB first.  Every builder takes the
+netlist as its first argument and returns the nets it created, so
+composite circuits (in :mod:`repro.hardware.circuits`) read like
+structural HDL.
+"""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+__all__ = [
+    "reduce_tree",
+    "and_tree",
+    "or_tree",
+    "constant_bus",
+    "incrementer",
+    "sync_counter",
+    "equality_comparator",
+    "binary_comparator_ge",
+    "match_constant_mask",
+    "sticky_latch",
+    "build_lfsr",
+    "register_bus",
+    "half_adder",
+    "full_adder",
+    "ripple_adder",
+    "popcount_tree",
+]
+
+
+def reduce_tree(nl: Netlist, nets: list[int], kind2: str, kind3: str) -> int:
+    """Balanced reduction of a net list with 2- and 3-input cells."""
+    if not nets:
+        raise ValueError("cannot reduce an empty net list")
+    level = list(nets)
+    while len(level) > 1:
+        nxt: list[int] = []
+        index = 0
+        while index < len(level):
+            chunk = level[index : index + 3]
+            if len(chunk) == 3:
+                nxt.append(nl.add_gate(kind3, *chunk))
+            elif len(chunk) == 2:
+                nxt.append(nl.add_gate(kind2, *chunk))
+            else:
+                nxt.append(chunk[0])
+            index += 3
+        level = nxt
+    return level[0]
+
+
+def and_tree(nl: Netlist, nets: list[int]) -> int:
+    """N-input AND as a balanced AND2/AND3 tree."""
+    return reduce_tree(nl, nets, "AND2", "AND3")
+
+
+def or_tree(nl: Netlist, nets: list[int]) -> int:
+    """N-input OR as a balanced OR2/OR3 tree."""
+    return reduce_tree(nl, nets, "OR2", "OR3")
+
+
+def constant_bus(nl: Netlist, value: int, bits: int) -> list[int]:
+    """A constant driven onto ``bits`` nets, LSB first."""
+    if value < 0 or value >= (1 << bits):
+        raise ValueError(f"value {value} does not fit in {bits} bits")
+    return [nl.add_const((value >> b) & 1) for b in range(bits)]
+
+
+def incrementer(nl: Netlist, bus: list[int]) -> list[int]:
+    """Combinational +1 over a bus: ripple of XOR (sum) and AND (carry)."""
+    out: list[int] = []
+    carry: int | None = None
+    for index, bit in enumerate(bus):
+        if index == 0:
+            out.append(nl.add_gate("INV", bit))
+            carry = bit
+        else:
+            out.append(nl.add_gate("XOR2", bit, carry))
+            carry = nl.add_gate("AND2", bit, carry)
+    return out
+
+
+def sync_counter(
+    nl: Netlist, bits: int, enable: int | None = None
+) -> list[int]:
+    """Synchronous up-counter; counts every cycle, or only when ``enable``.
+
+    Returns the Q bus.  This is the popcount element of Fig. 5: the D-type
+    flip-flop chain that counts incoming logic-1s.
+    """
+    if bits < 1:
+        raise ValueError("counter needs at least one bit")
+    q_bus = [nl.add_flop_placeholder() for _ in range(bits)]
+    inc = incrementer(nl, q_bus)
+    for q, next_value in zip(q_bus, inc):
+        if enable is None:
+            nl.connect_flop(q, next_value)
+        else:
+            nl.connect_flop(q, nl.add_gate("MUX2", q, next_value, enable))
+    return q_bus
+
+
+def equality_comparator(nl: Netlist, a: list[int], b: list[int]) -> int:
+    """``a == b`` over equal-width buses: AND tree of per-bit XNORs."""
+    if len(a) != len(b):
+        raise ValueError("equality operands must share a width")
+    return and_tree(nl, [nl.add_gate("XNOR2", x, y) for x, y in zip(a, b)])
+
+
+def binary_comparator_ge(nl: Netlist, a: list[int], b: list[int]) -> int:
+    """Magnitude comparator ``a >= b`` (the conventional M-bit comparator).
+
+    Ripple formulation from LSB to MSB:
+    ``ge_i = gt_i OR (eq_i AND ge_{i-1})`` with ``ge_{-1} = 1``.
+    """
+    if len(a) != len(b):
+        raise ValueError("comparator operands must share a width")
+    ge = nl.add_const(1)
+    for x, y in zip(a, b):
+        not_y = nl.add_gate("INV", y)
+        gt = nl.add_gate("AND2", x, not_y)
+        eq = nl.add_gate("XNOR2", x, y)
+        ge = nl.add_gate("OR2", gt, nl.add_gate("AND2", eq, ge))
+    return ge
+
+
+def match_constant_mask(nl: Netlist, bus: list[int], value: int) -> int:
+    """The paper's masking logic: AND only the bits set in ``value``.
+
+    For a monotonically counting bus this fires the first time the count
+    reaches ``value`` — a hardwired threshold detector needing no
+    comparator or subtractor (contribution ⑤).  Combine with
+    :func:`sticky_latch` to hold the decision, since higher counts can
+    momentarily clear masked bits.
+    """
+    if value <= 0 or value >= (1 << len(bus)):
+        raise ValueError(f"threshold {value} does not fit the bus")
+    selected = [bus[b] for b in range(len(bus)) if (value >> b) & 1]
+    if len(selected) == 1:
+        return nl.add_gate("BUF", selected[0])
+    return and_tree(nl, selected)
+
+
+def sticky_latch(nl: Netlist, signal: int) -> int:
+    """Set-and-hold: q latches the first 1 seen on ``signal``.
+
+    This is the sign-bit flip-flop of Fig. 5 that remembers the masking
+    logic having fired.
+    """
+    q = nl.add_flop_placeholder()
+    nl.connect_flop(q, nl.add_gate("OR2", q, signal))
+    return q
+
+
+def build_lfsr(nl: Netlist, width: int, taps: tuple[int, ...]) -> list[int]:
+    """Fibonacci LFSR with the given 1-based taps; returns the state bus.
+
+    All flops initialise to 1 (non-zero seed).  The software twin is
+    :class:`repro.hdc.lfsr.LFSR`; equivalence between the two is tested.
+    """
+    if any(not 1 <= t <= width for t in taps):
+        raise ValueError(f"taps must lie in [1, {width}]")
+    state = [nl.add_flop_placeholder(init=1) for _ in range(width)]
+    feedback = state[taps[0] - 1]
+    for tap in taps[1:]:
+        feedback = nl.add_gate("XOR2", feedback, state[tap - 1])
+    # XAPP052 convention (matches repro.hdc.lfsr.LFSR): stages shift toward
+    # higher bits, feedback enters stage 1 (bit 0).
+    for index in range(1, width):
+        nl.connect_flop(state[index], nl.add_gate("BUF", state[index - 1]))
+    nl.connect_flop(state[0], feedback)
+    return state
+
+
+def register_bus(nl: Netlist, d_bus: list[int]) -> list[int]:
+    """A rank of DFFs over a bus; returns the Q bus."""
+    return [nl.add_flop(d) for d in d_bus]
+
+
+def half_adder(nl: Netlist, a: int, b: int) -> tuple[int, int]:
+    """``(sum, carry)`` of two bits: XOR + AND."""
+    return nl.add_gate("XOR2", a, b), nl.add_gate("AND2", a, b)
+
+
+def full_adder(nl: Netlist, a: int, b: int, carry_in: int) -> tuple[int, int]:
+    """``(sum, carry)`` of three bits: two half adders + carry OR."""
+    s1, c1 = half_adder(nl, a, b)
+    s2, c2 = half_adder(nl, s1, carry_in)
+    return s2, nl.add_gate("OR2", c1, c2)
+
+
+def ripple_adder(nl: Netlist, a: list[int], b: list[int]) -> list[int]:
+    """Unsigned ripple-carry sum of two equal-width buses, width+1 bits."""
+    if len(a) != len(b):
+        raise ValueError("adder operands must share a width")
+    out: list[int] = []
+    carry: int | None = None
+    for x, y in zip(a, b):
+        if carry is None:
+            bit, carry = half_adder(nl, x, y)
+        else:
+            bit, carry = full_adder(nl, x, y, carry)
+        out.append(bit)
+    out.append(carry if carry is not None else nl.add_const(0))
+    return out
+
+
+def popcount_tree(nl: Netlist, bits: list[int]) -> list[int]:
+    """Combinational ones-count of a bit vector as a binary bus.
+
+    A balanced adder tree — the single-cycle alternative to the paper's
+    sequential popcount counter (Fig. 5).  Useful for the
+    throughput-vs-area trade-off study in the ablation benches.
+    """
+    if not bits:
+        raise ValueError("popcount of an empty vector")
+    buses: list[list[int]] = [[bit] for bit in bits]
+    while len(buses) > 1:
+        paired: list[list[int]] = []
+        for index in range(0, len(buses) - 1, 2):
+            left, right = buses[index], buses[index + 1]
+            width = max(len(left), len(right))
+            zero = nl.add_const(0)
+            left = left + [zero] * (width - len(left))
+            right = right + [zero] * (width - len(right))
+            paired.append(ripple_adder(nl, left, right))
+        if len(buses) % 2:
+            paired.append(buses[-1])
+        buses = paired
+    return buses[0]

@@ -1,0 +1,194 @@
+"""Structural gate-level netlists.
+
+A :class:`Netlist` is a directed graph of cells over single-bit nets:
+primary inputs, combinational gates (kinds from
+:mod:`repro.hardware.cells`), D flip-flops, and named primary outputs.
+Construction enforces single-driver nets and pin-count correctness;
+:meth:`Netlist.levelize` orders the combinational logic topologically and
+rejects combinational cycles (flip-flop boundaries legally cut cycles).
+
+Nets are integer handles; builders in :mod:`repro.hardware.components`
+layer readable buses on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cells import cell
+
+__all__ = ["Gate", "Flop", "Netlist"]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One combinational cell instance: ``output = kind(inputs)``."""
+
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+
+
+@dataclass(frozen=True)
+class Flop:
+    """One D flip-flop: ``q`` follows ``d`` at the clock edge."""
+
+    d: int
+    q: int
+    init: int = 0
+
+
+@dataclass
+class Netlist:
+    """A single-clock synchronous gate-level circuit."""
+
+    name: str = "netlist"
+    num_nets: int = 0
+    inputs: dict[str, int] = field(default_factory=dict)
+    outputs: dict[str, int] = field(default_factory=dict)
+    gates: list[Gate] = field(default_factory=list)
+    flops: list[Flop] = field(default_factory=list)
+    _drivers: set[int] = field(default_factory=set, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_net(self) -> int:
+        """Allocate an undriven net handle."""
+        net = self.num_nets
+        self.num_nets += 1
+        return net
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input; returns its net."""
+        if name in self.inputs:
+            raise ValueError(f"duplicate input name {name!r}")
+        net = self.new_net()
+        self.inputs[name] = net
+        self._drivers.add(net)
+        return net
+
+    def add_gate(self, kind: str, *inputs: int) -> int:
+        """Instantiate a combinational cell; returns its output net."""
+        spec = cell(kind)
+        if kind == "DFF":
+            raise ValueError("use add_flop for sequential cells")
+        if spec.inputs != len(inputs):
+            raise ValueError(
+                f"{kind} takes {spec.inputs} inputs, got {len(inputs)}"
+            )
+        for net in inputs:
+            self._check_net(net)
+        output = self.new_net()
+        self.gates.append(Gate(kind, tuple(inputs), output))
+        self._drivers.add(output)
+        return output
+
+    def add_const(self, value: int) -> int:
+        """A constant-0 or constant-1 net (tie cell)."""
+        if value not in (0, 1):
+            raise ValueError("constant must be 0 or 1")
+        output = self.new_net()
+        self.gates.append(Gate("CONST1" if value else "CONST0", (), output))
+        self._drivers.add(output)
+        return output
+
+    def add_flop(self, d: int, init: int = 0) -> int:
+        """Instantiate a DFF fed by net ``d``; returns the Q net."""
+        self._check_net(d)
+        if init not in (0, 1):
+            raise ValueError("flop init must be 0 or 1")
+        q = self.new_net()
+        self.flops.append(Flop(d, q, init))
+        self._drivers.add(q)
+        return q
+
+    def add_flop_placeholder(self, init: int = 0) -> int:
+        """Declare a DFF whose D pin will be connected later.
+
+        Sequential feedback (counters, LFSRs, sticky latches) needs the Q
+        net to exist before the logic producing D can be built; connect
+        with :meth:`connect_flop`.  Levelization rejects netlists that
+        still contain unconnected placeholders.
+        """
+        if init not in (0, 1):
+            raise ValueError("flop init must be 0 or 1")
+        q = self.new_net()
+        self.flops.append(Flop(-1, q, init))
+        self._drivers.add(q)
+        return q
+
+    def connect_flop(self, q: int, d: int) -> None:
+        """Attach the D pin of a placeholder flop identified by its Q net."""
+        self._check_net(d)
+        for index, flop in enumerate(self.flops):
+            if flop.q == q:
+                if flop.d != -1:
+                    raise ValueError(f"flop with q={q} is already connected")
+                self.flops[index] = Flop(d, q, flop.init)
+                return
+        raise ValueError(f"no flop has q net {q}")
+
+    def add_output(self, name: str, net: int) -> None:
+        """Expose a net as a named primary output."""
+        if name in self.outputs:
+            raise ValueError(f"duplicate output name {name!r}")
+        self._check_net(net)
+        self.outputs[name] = net
+
+    def _check_net(self, net: int) -> None:
+        if not 0 <= net < self.num_nets:
+            raise ValueError(f"net {net} does not exist")
+        if net not in self._drivers:
+            raise ValueError(f"net {net} has no driver yet")
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def levelize(self) -> list[Gate]:
+        """Topological order of the combinational gates.
+
+        Flip-flop Q nets and primary inputs are sources.  Raises on
+        combinational cycles.
+        """
+        for flop in self.flops:
+            if flop.d == -1:
+                raise ValueError(
+                    f"flop with q={flop.q} has an unconnected D pin"
+                )
+        remaining: dict[int, Gate] = {id(g): g for g in self.gates}
+        ready: set[int] = set(self.inputs.values()) | {f.q for f in self.flops}
+        ordered: list[Gate] = []
+        progress = True
+        while remaining and progress:
+            progress = False
+            for key in list(remaining):
+                gate = remaining[key]
+                if all(net in ready for net in gate.inputs):
+                    ordered.append(gate)
+                    ready.add(gate.output)
+                    del remaining[key]
+                    progress = True
+        if remaining:
+            cyclic = [g.kind for g in remaining.values()][:5]
+            raise ValueError(
+                f"combinational cycle through {len(remaining)} gates "
+                f"(first kinds: {cyclic})"
+            )
+        return ordered
+
+    def cell_counts(self) -> dict[str, int]:
+        """Instance count per cell kind (flip-flops included as DFF)."""
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        if self.flops:
+            counts["DFF"] = len(self.flops)
+        return counts
+
+    def stats(self) -> str:
+        """One-line human summary."""
+        return (
+            f"{self.name}: {len(self.gates)} gates, {len(self.flops)} flops, "
+            f"{len(self.inputs)} inputs, {len(self.outputs)} outputs"
+        )

@@ -1,0 +1,76 @@
+"""Dynamic-energy accounting from simulated switching activity.
+
+Energy model (the standard gate-level power-report product):
+
+``E_dynamic = sum_gates toggles(g) * E_cell(kind(g))
+            + cycles * n_flops * E_dff_clock
+            + sum_flops q_toggles(f) * E_dff``
+
+plus explicit memory-macro access energy charged by the circuit models
+(ROM/BRAM reads are not standard cells; see
+:mod:`repro.hardware.cells`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cells import DFF_CLOCK_ENERGY_FJ, cell
+from .simulator import Simulator
+
+__all__ = ["EnergyBreakdown", "dynamic_energy_fj"]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-category dynamic energy of one simulation run, in femtojoules."""
+
+    combinational_fj: float = 0.0
+    flop_clock_fj: float = 0.0
+    flop_data_fj: float = 0.0
+    memory_fj: float = 0.0
+    by_kind: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_fj(self) -> float:
+        return (
+            self.combinational_fj
+            + self.flop_clock_fj
+            + self.flop_data_fj
+            + self.memory_fj
+        )
+
+    @property
+    def total_pj(self) -> float:
+        return self.total_fj / 1000.0
+
+    def add_memory_access(self, energy_fj: float) -> None:
+        """Charge a memory-macro access (ROM/BRAM read)."""
+        if energy_fj < 0:
+            raise ValueError("memory access energy must be non-negative")
+        self.memory_fj += energy_fj
+        self.by_kind["MEM"] = self.by_kind.get("MEM", 0.0) + energy_fj
+
+
+def dynamic_energy_fj(sim: Simulator) -> EnergyBreakdown:
+    """Energy of everything ``sim`` has executed since its last reset."""
+    breakdown = EnergyBreakdown()
+    gate_kind = {gate.output: gate.kind for gate in sim.netlist.gates}
+    for net, toggles in sim.gate_toggles.items():
+        kind = gate_kind[net]
+        energy = toggles * cell(kind).energy_fj
+        breakdown.combinational_fj += energy
+        breakdown.by_kind[kind] = breakdown.by_kind.get(kind, 0.0) + energy
+    dff_energy = cell("DFF").energy_fj
+    for toggles in sim.flop_toggles.values():
+        breakdown.flop_data_fj += toggles * dff_energy
+    breakdown.flop_clock_fj = (
+        sim.cycles * len(sim.netlist.flops) * DFF_CLOCK_ENERGY_FJ
+    )
+    if sim.netlist.flops:
+        breakdown.by_kind["DFF"] = (
+            breakdown.by_kind.get("DFF", 0.0)
+            + breakdown.flop_data_fj
+            + breakdown.flop_clock_fj
+        )
+    return breakdown

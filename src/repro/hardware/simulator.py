@@ -1,0 +1,192 @@
+"""Cycle-based netlist simulation with switching-activity capture.
+
+The simulator evaluates the levelized combinational logic once per cycle,
+then clocks every flip-flop (two-phase: sample D, then update Q), counting
+**output toggles per gate** along the way.  Toggle counts times per-cell
+switching energy is the dynamic-power model
+(:mod:`repro.hardware.power`) — the same activity-times-energy product a
+gate-level power report computes from a simulation VCD.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .netlist import Gate, Netlist
+
+__all__ = ["Simulator", "TruthTableError", "evaluate_gate"]
+
+
+class TruthTableError(ValueError):
+    """Raised when a gate kind has no evaluation rule."""
+
+
+_EVAL: dict[str, Callable[[tuple[int, ...]], int]] = {
+    "CONST0": lambda v: 0,
+    "CONST1": lambda v: 1,
+    "BUF": lambda v: v[0],
+    "INV": lambda v: 1 - v[0],
+    "AND2": lambda v: v[0] & v[1],
+    "AND3": lambda v: v[0] & v[1] & v[2],
+    "AND4": lambda v: v[0] & v[1] & v[2] & v[3],
+    "OR2": lambda v: v[0] | v[1],
+    "OR3": lambda v: v[0] | v[1] | v[2],
+    "OR4": lambda v: v[0] | v[1] | v[2] | v[3],
+    "NAND2": lambda v: 1 - (v[0] & v[1]),
+    "NOR2": lambda v: 1 - (v[0] | v[1]),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "MUX2": lambda v: v[1] if v[2] else v[0],  # (in0, in1, select)
+}
+
+
+def evaluate_gate(gate: Gate, values: Sequence[int]) -> int:
+    """Evaluate one gate's output from current net values."""
+    try:
+        fn = _EVAL[gate.kind]
+    except KeyError:
+        raise TruthTableError(f"no evaluation rule for {gate.kind!r}") from None
+    return fn(tuple(values[net] for net in gate.inputs))
+
+
+class Simulator:
+    """Stateful cycle simulator for one :class:`Netlist`.
+
+    Parameters
+    ----------
+    netlist:
+        The circuit; levelized once at construction.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self._order = netlist.levelize()
+        self.reset()
+
+    def reset(self) -> "Simulator":
+        """Clear net values, flop state, forced faults and all counters."""
+        self._values = np.zeros(self.netlist.num_nets, dtype=np.int8)
+        for flop in self.netlist.flops:
+            self._values[flop.q] = flop.init
+        self.gate_toggles: dict[int, int] = {
+            gate.output: 0 for gate in self._order
+        }
+        self.flop_toggles: dict[int, int] = {
+            flop.q: 0 for flop in self.netlist.flops
+        }
+        self.cycles = 0
+        self._forced: dict[int, int] = {}
+        self._combinational_settled = False
+        return self
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def force(self, net: int, value: int) -> "Simulator":
+        """Stuck-at fault: pin ``net`` to ``value`` until released.
+
+        Forced nets override their drivers (gates, flops and primary
+        inputs alike) — the standard stuck-at-0/1 model used for fault
+        simulation and the robustness experiments.
+        """
+        if not 0 <= net < self.netlist.num_nets:
+            raise ValueError(f"net {net} does not exist")
+        if value not in (0, 1):
+            raise ValueError("forced value must be 0 or 1")
+        self._forced[net] = value
+        self._values[net] = value
+        return self
+
+    def release(self, net: int) -> "Simulator":
+        """Remove a stuck-at fault from ``net``."""
+        self._forced.pop(net, None)
+        return self
+
+    @property
+    def forced_nets(self) -> dict[int, int]:
+        """Currently active stuck-at faults (net -> value)."""
+        return dict(self._forced)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def _apply_inputs(self, input_values: Mapping[str, int]) -> None:
+        for name, value in input_values.items():
+            try:
+                net = self.netlist.inputs[name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown input {name!r}; expected "
+                    f"{sorted(self.netlist.inputs)}"
+                ) from None
+            if value not in (0, 1):
+                raise ValueError(f"input {name!r} must be 0/1, got {value}")
+            if net not in self._forced:
+                self._values[net] = value
+
+    def _propagate(self) -> None:
+        """Re-evaluate combinational logic, counting output toggles."""
+        values = self._values
+        forced = self._forced
+        for gate in self._order:
+            if gate.output in forced:
+                continue
+            new = evaluate_gate(gate, values)
+            if new != values[gate.output]:
+                self.gate_toggles[gate.output] += 1
+                values[gate.output] = new
+        self._combinational_settled = True
+
+    def evaluate(self, input_values: Mapping[str, int] | None = None) -> dict[str, int]:
+        """Combinational-only evaluation (no clock edge); returns outputs."""
+        if input_values:
+            self._apply_inputs(input_values)
+        self._propagate()
+        return self.outputs()
+
+    def step(self, input_values: Mapping[str, int] | None = None) -> dict[str, int]:
+        """One full clock cycle: drive inputs, settle logic, clock flops.
+
+        Output values returned are those *after* the edge (combinational
+        logic is re-settled so Moore outputs read correctly).
+        """
+        if input_values:
+            self._apply_inputs(input_values)
+        self._propagate()
+        # Two-phase flop update: sample all D pins before touching any Q.
+        sampled = [(flop, int(self._values[flop.d])) for flop in self.netlist.flops]
+        for flop, d_value in sampled:
+            if flop.q in self._forced:
+                continue
+            if self._values[flop.q] != d_value:
+                self.flop_toggles[flop.q] += 1
+                self._values[flop.q] = d_value
+        self.cycles += 1
+        self._propagate()
+        return self.outputs()
+
+    def run(self, stimulus: Sequence[Mapping[str, int]]) -> list[dict[str, int]]:
+        """Apply a sequence of input maps, one clock cycle each."""
+        return [self.step(vector) for vector in stimulus]
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def value(self, net: int) -> int:
+        """Current value of a net."""
+        return int(self._values[net])
+
+    def outputs(self) -> dict[str, int]:
+        """Current values of all primary outputs."""
+        return {name: int(self._values[net])
+                for name, net in self.netlist.outputs.items()}
+
+    def total_gate_toggles(self) -> int:
+        """Total combinational output toggles since reset."""
+        return sum(self.gate_toggles.values())
+
+    def total_flop_toggles(self) -> int:
+        """Total flip-flop Q toggles since reset."""
+        return sum(self.flop_toggles.values())

@@ -1,0 +1,83 @@
+"""Synthesis-style reporting: one object tying area, timing and energy.
+
+`report()` mimics the summary a Design Compiler run prints — cell counts,
+area, critical path, and the dynamic energy of a supplied stimulus — so
+the experiment code (and the README examples) can characterise any of the
+paper's datapaths in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from .area import area_by_kind, area_um2
+from .netlist import Netlist
+from .power import EnergyBreakdown, dynamic_energy_fj
+from .simulator import Simulator
+from .timing import critical_path_ps
+
+__all__ = ["SynthesisReport", "characterize"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Characterisation summary of one netlist."""
+
+    name: str
+    cell_counts: dict[str, int]
+    area_um2: float
+    critical_path_ps: float
+    cycles: int
+    energy: EnergyBreakdown
+
+    @property
+    def area_delay_um2_s(self) -> float:
+        """Area x delay in um^2 * seconds (the paper's Table II metric
+        is m^2 * s; convert with 1 um^2 = 1e-12 m^2)."""
+        return self.area_um2 * self.critical_path_ps * 1e-12
+
+    @property
+    def energy_per_cycle_fj(self) -> float:
+        return self.energy.total_fj / self.cycles if self.cycles else 0.0
+
+    def render(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"=== {self.name} ===",
+            "cells: "
+            + ", ".join(f"{kind} x{count}"
+                        for kind, count in sorted(self.cell_counts.items())),
+            f"area: {self.area_um2:.2f} um^2",
+            f"critical path: {self.critical_path_ps:.0f} ps",
+            f"cycles simulated: {self.cycles}",
+            f"dynamic energy: {self.energy.total_fj:.2f} fJ"
+            f" ({self.energy_per_cycle_fj:.2f} fJ/cycle)",
+        ]
+        return "\n".join(lines)
+
+
+def characterize(
+    netlist: Netlist,
+    stimulus: Sequence[Mapping[str, int]],
+    memory_bits: int = 0,
+    extra_memory_fj: float = 0.0,
+) -> SynthesisReport:
+    """Simulate a stimulus and assemble the full report.
+
+    ``extra_memory_fj`` charges macro accesses (ROM/BRAM reads) that the
+    gate-level simulation cannot see.
+    """
+    sim = Simulator(netlist)
+    sim.run(list(stimulus))
+    energy = dynamic_energy_fj(sim)
+    if extra_memory_fj:
+        energy.add_memory_access(extra_memory_fj)
+    return SynthesisReport(
+        name=netlist.name,
+        cell_counts=netlist.cell_counts(),
+        area_um2=area_um2(netlist, memory_bits=memory_bits),
+        critical_path_ps=critical_path_ps(netlist),
+        cycles=sim.cycles,
+        energy=energy,
+    )

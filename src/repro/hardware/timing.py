@@ -1,0 +1,38 @@
+"""Static timing: longest combinational path through the netlist.
+
+Arrival times propagate in levelized order — primary inputs and flop Q
+pins launch at t = 0 (plus the DFF clock-to-Q delay for flops), each gate
+adds its cell delay, and the critical path is the maximum arrival at any
+flop D pin or primary output.  This is the delay half of the paper's
+area-delay product.
+"""
+
+from __future__ import annotations
+
+from .cells import cell
+from .netlist import Netlist
+
+__all__ = ["critical_path_ps", "arrival_times_ps"]
+
+
+def arrival_times_ps(netlist: Netlist) -> dict[int, float]:
+    """Arrival time of every net in picoseconds."""
+    arrivals: dict[int, float] = {net: 0.0 for net in netlist.inputs.values()}
+    clk_to_q = cell("DFF").delay_ps
+    for flop in netlist.flops:
+        arrivals[flop.q] = clk_to_q
+    for gate in netlist.levelize():
+        gate_delay = cell(gate.kind).delay_ps
+        launch = max((arrivals[n] for n in gate.inputs), default=0.0)
+        arrivals[gate.output] = launch + gate_delay
+    return arrivals
+
+
+def critical_path_ps(netlist: Netlist) -> float:
+    """Longest register-to-register / input-to-output path in picoseconds."""
+    arrivals = arrival_times_ps(netlist)
+    endpoints = [net for net in netlist.outputs.values()]
+    endpoints.extend(flop.d for flop in netlist.flops)
+    if not endpoints:
+        return 0.0
+    return max(arrivals.get(net, 0.0) for net in endpoints)

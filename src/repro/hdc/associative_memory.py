@@ -1,0 +1,69 @@
+"""Associative (cleanup) memory over hypervectors.
+
+A standard component of HDC systems: stores named hypervectors and
+recalls the best match for a noisy query.  The class-hypervector store of
+the centroid classifier is an associative memory specialised to class
+prototypes; this generic version supports symbol cleanup after unbinding,
+the other canonical HDC use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .similarity import cosine_similarity
+
+__all__ = ["AssociativeMemory"]
+
+
+class AssociativeMemory:
+    """Name-keyed hypervector store with nearest-neighbour recall."""
+
+    def __init__(self, dim: int) -> None:
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        self.dim = dim
+        self._names: list[str] = []
+        self._vectors: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def store(self, name: str, vector: np.ndarray) -> "AssociativeMemory":
+        """Add or replace an entry."""
+        vector = np.asarray(vector)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"vector must have shape ({self.dim},)")
+        if name in self._names:
+            self._vectors[self._names.index(name)] = vector.copy()
+        else:
+            self._names.append(name)
+            self._vectors.append(vector.copy())
+        return self
+
+    def vector(self, name: str) -> np.ndarray:
+        """Stored vector of one entry."""
+        try:
+            index = self._names.index(name)
+        except ValueError:
+            raise KeyError(f"no entry named {name!r}") from None
+        return self._vectors[index]
+
+    def recall(self, query: np.ndarray, k: int = 1) -> list[tuple[str, float]]:
+        """The ``k`` best matches as ``(name, similarity)``, best first."""
+        if not self._names:
+            raise RuntimeError("memory is empty")
+        if not 1 <= k <= len(self._names):
+            raise ValueError(f"k must lie in [1, {len(self._names)}]")
+        matrix = np.stack(self._vectors)
+        similarities = cosine_similarity(np.asarray(query), matrix)[0]
+        order = np.argsort(similarities)[::-1][:k]
+        return [(self._names[i], float(similarities[i])) for i in order]
+
+    def cleanup(self, query: np.ndarray) -> np.ndarray:
+        """The stored vector nearest to the query (symbol cleanup)."""
+        name, _ = self.recall(query, k=1)[0]
+        return self.vector(name)

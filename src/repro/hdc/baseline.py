@@ -1,0 +1,125 @@
+"""The baseline HDC image classifier the paper compares against.
+
+End-to-end model of Fig. 1: pseudo-random position and level hypervectors
+(fresh draws per *iteration*, the knob behind Table IV's ``i = 1..100``
+sweep and Fig. 6(a)'s fluctuation plot), record encoding with XOR binding,
+bundling, sign binarization, and cosine inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .classifier import CentroidClassifier
+from .encoding import RecordEncoder, quantize_levels
+from .item_memory import LevelItemMemory, RandomItemMemory
+
+__all__ = ["BaselineConfig", "BaselineHDC"]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Hyper-parameters of the baseline HDC model.
+
+    Attributes
+    ----------
+    dim:
+        Hypervector dimension D (1K-10K in the paper).
+    levels:
+        Intensity quantization levels (2^n); 16 matches uHD's xi = 16 so
+        accuracy comparisons are iso-quantization.
+    level_scheme:
+        Level item-memory construction: ``"threshold"`` (the paper's
+        conventional random-sequence generation; default) or ``"flip"``.
+    seed:
+        Base seed; ``reseed`` derives per-iteration draws from it.
+    binarize:
+        Classifier policy — see :class:`repro.hdc.classifier.CentroidClassifier`.
+    """
+
+    dim: int = 1024
+    levels: int = 16
+    level_scheme: str = "threshold"
+    seed: int = 0
+    binarize: bool = False
+    encode_chunk: int = field(default=16, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"dim must be >= 1, got {self.dim}")
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+
+
+class BaselineHDC:
+    """Position-times-level HDC classifier with re-drawable hypervectors."""
+
+    def __init__(self, num_pixels: int, num_classes: int, config: BaselineConfig) -> None:
+        if num_pixels < 1:
+            raise ValueError(f"num_pixels must be >= 1, got {num_pixels}")
+        self.num_pixels = num_pixels
+        self.num_classes = num_classes
+        self.config = config
+        self._classifier: CentroidClassifier | None = None
+        self.reseed(config.seed)
+
+    def reseed(self, seed: int) -> "BaselineHDC":
+        """Draw a fresh set of position/level hypervectors (one "iteration").
+
+        Invalidates any previous fit, since class hypervectors built from
+        the old codebooks are meaningless under the new ones.
+        """
+        rng = np.random.default_rng(seed)
+        positions = RandomItemMemory(self.num_pixels, self.config.dim, rng)
+        levels = LevelItemMemory(
+            self.config.levels, self.config.dim, rng, scheme=self.config.level_scheme
+        )
+        self.encoder = RecordEncoder(positions, levels)
+        self._classifier = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Data plumbing
+    # ------------------------------------------------------------------
+    def _encode_images(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images)
+        flat = images.reshape(images.shape[0], -1)
+        if flat.shape[1] != self.num_pixels:
+            raise ValueError(
+                f"expected {self.num_pixels} pixels per image, got {flat.shape[1]}"
+            )
+        level_indices = quantize_levels(flat, self.config.levels)
+        return self.encoder.encode_batch(level_indices, chunk=self.config.encode_chunk)
+
+    # ------------------------------------------------------------------
+    # Train / evaluate
+    # ------------------------------------------------------------------
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "BaselineHDC":
+        """Single-pass training on a labelled image batch."""
+        encoded = self._encode_images(images)
+        self._classifier = CentroidClassifier(
+            self.num_classes, self.config.dim, binarize=self.config.binarize
+        )
+        self._classifier.fit(encoded, np.asarray(labels))
+        return self
+
+    def predict(self, images: np.ndarray) -> np.ndarray:
+        """Class labels for a batch of images."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier.predict(self._encode_images(images))
+
+    def score(self, images: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled image batch."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier.score(self._encode_images(images), np.asarray(labels))
+
+    @property
+    def classifier(self) -> CentroidClassifier:
+        """The underlying centroid classifier (fitted)."""
+        if self._classifier is None:
+            raise RuntimeError("model has not been fitted")
+        return self._classifier

@@ -1,0 +1,158 @@
+"""Centroid classifier over hypervectors (training + inference of Fig. 1).
+
+Training is single-pass: every encoded image is bundled into its class
+accumulator.  Inference picks the class with the highest cosine similarity.
+
+Binarization policy
+-------------------
+``binarize=True`` applies the paper's sign rule (popcount vs. TOB = H/2)
+to class hypervectors and queries.  That rule assumes the bundled bits are
+*balanced*; it holds for the baseline's bound vectors (P XOR L is
+Rademacher) but **degenerates for uHD on dark images**: level-only
+accumulators sit far below zero in every dimension, so sign-at-zero maps
+every class to the constant all-(-1) vector and accuracy collapses to
+chance.  The accuracy experiments therefore default to ``binarize=False``
+(cosine on the integer centroids — the "subtractor" reading of the paper's
+binarization and the usual software practice), and EXPERIMENTS.md
+documents the choice.  The hardware energy model is unaffected: it charges
+the full popcount + masking-logic datapath either way.
+
+``retrain`` implements the perceptron-style refinement several prior HDC
+works use ("w/ retrain" rows of Fig. 6(b)); the paper's headline results
+are single-pass, so it is off by default everywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import binarize
+from .similarity import classify, cosine_similarity
+
+__all__ = ["CentroidClassifier"]
+
+
+class CentroidClassifier:
+    """Class-hypervector store with single-pass fit and cosine inference.
+
+    ``center=True`` (default) subtracts each vector's scalar mean before
+    the cosine in the non-binarized path — i.e. Pearson correlation.  A
+    level-only accumulator carries the image's overall brightness as a
+    large shared component; centering removes it so similarity ranks by
+    *pattern*, which matters on datasets whose per-image brightness varies
+    (colour scenes).  For the baseline's bound vectors the mean is already
+    ~0 and centering is a no-op, so the comparison stays fair.
+    """
+
+    def __init__(
+        self,
+        num_classes: int,
+        dim: int,
+        binarize: bool = False,
+        center: bool = True,
+    ) -> None:
+        if num_classes < 2 or dim < 1:
+            raise ValueError("num_classes must be >= 2 and dim >= 1")
+        self.num_classes = num_classes
+        self.dim = dim
+        self.binarize = binarize
+        self.center = center
+        self._accumulators = np.zeros((num_classes, dim), dtype=np.int64)
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, encoded: np.ndarray, labels: np.ndarray) -> "CentroidClassifier":
+        """Single-pass bundling of encoded vectors into class accumulators."""
+        encoded = np.asarray(encoded)
+        labels = np.asarray(labels)
+        if encoded.ndim != 2 or encoded.shape[1] != self.dim:
+            raise ValueError(f"encoded must be (n, {self.dim})")
+        if labels.shape != (encoded.shape[0],):
+            raise ValueError("labels must be one per encoded vector")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ValueError(f"labels must lie in [0, {self.num_classes})")
+        for cls in range(self.num_classes):
+            mask = labels == cls
+            if mask.any():
+                self._accumulators[cls] += encoded[mask].sum(axis=0, dtype=np.int64)
+        self._fitted = True
+        return self
+
+    def retrain(
+        self, encoded: np.ndarray, labels: np.ndarray, epochs: int = 1
+    ) -> int:
+        """Perceptron-style refinement; returns total corrections applied.
+
+        For each misclassified vector the true class accumulator gains the
+        vector and the predicted class loses it, as in AdaptHD-style
+        retraining.
+        """
+        self._require_fitted()
+        if epochs < 0:
+            raise ValueError("epochs must be non-negative")
+        encoded = np.asarray(encoded)
+        labels = np.asarray(labels)
+        corrections = 0
+        for _ in range(epochs):
+            predictions = self.predict(encoded)
+            wrong = np.flatnonzero(predictions != labels)
+            if wrong.size == 0:
+                break
+            for idx in wrong:
+                self._accumulators[labels[idx]] += encoded[idx]
+                self._accumulators[predictions[idx]] -= encoded[idx]
+            corrections += int(wrong.size)
+        return corrections
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    @property
+    def class_hypervectors(self) -> np.ndarray:
+        """Sign-binarized class hypervectors, shape ``(num_classes, dim)``."""
+        self._require_fitted()
+        return binarize(self._accumulators)
+
+    @property
+    def accumulators(self) -> np.ndarray:
+        """Raw (non-binarized) class accumulators — read-only view."""
+        view = self._accumulators.view()
+        view.setflags(write=False)
+        return view
+
+    def similarities(self, encoded: np.ndarray) -> np.ndarray:
+        """Cosine similarity of queries to every class representative.
+
+        Under ``binarize=True`` both sides are sign-binarized first; under
+        the default policy the integer accumulators are compared directly.
+        """
+        self._require_fitted()
+        queries = np.atleast_2d(np.asarray(encoded))
+        if self.binarize:
+            return cosine_similarity(binarize(queries), self.class_hypervectors)
+        if self.center:
+            queries = queries - queries.mean(axis=1, keepdims=True)
+            references = (self._accumulators
+                          - self._accumulators.mean(axis=1, keepdims=True))
+            return cosine_similarity(queries, references)
+        return cosine_similarity(queries, self._accumulators)
+
+    def predict(self, encoded: np.ndarray) -> np.ndarray:
+        """Winner-take-all class labels for a batch of encoded vectors."""
+        return classify(self.similarities(encoded))
+
+    def score(self, encoded: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy in ``[0, 1]``."""
+        labels = np.asarray(labels)
+        predictions = self.predict(encoded)
+        if predictions.shape != labels.shape:
+            raise ValueError("labels must be one per encoded vector")
+        if labels.size == 0:
+            raise ValueError("cannot score an empty set")
+        return float(np.mean(predictions == labels))
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("classifier has not been fitted")

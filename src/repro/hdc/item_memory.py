@@ -1,0 +1,112 @@
+"""Item memories: the stored codebooks of baseline HDC (paper Fig. 1(a)).
+
+* :class:`RandomItemMemory` — orthogonal codes for symbolic data (the
+  *position* hypervectors P of the baseline encoder).
+* :class:`LevelItemMemory` — correlated codes for scalar data (the *level*
+  hypervectors L), in both classic constructions:
+
+  - ``"flip"``: start from a random hypervector and flip cumulative random
+    position chunks, so adjacent levels differ in ``D / (2 (levels - 1))``
+    positions and the extremes are near-orthogonal.
+  - ``"threshold"``: compare each level's normalized value against one
+    shared vector of pseudo-random thresholds — the construction the paper
+    describes (R vs ``t = k * D / 2^n``), and the exact pseudo-random
+    counterpart of uHD's Sobol comparison (quasi-random thresholds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ops import random_hypervectors
+
+__all__ = ["RandomItemMemory", "LevelItemMemory"]
+
+_LEVEL_SCHEMES = ("flip", "threshold")
+
+
+class RandomItemMemory:
+    """Fixed codebook of iid Rademacher hypervectors, one per symbol."""
+
+    def __init__(self, num_items: int, dim: int, rng: np.random.Generator) -> None:
+        if num_items < 1 or dim < 1:
+            raise ValueError("num_items and dim must be >= 1")
+        self.num_items = num_items
+        self.dim = dim
+        self._matrix = random_hypervectors(num_items, dim, rng)
+        self._matrix.setflags(write=False)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(num_items, dim)`` int8 codebook."""
+        return self._matrix
+
+    def vector(self, item: int) -> np.ndarray:
+        """Hypervector of one symbol."""
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item {item} out of range [0, {self.num_items})")
+        return self._matrix[item]
+
+    def encode(self, items: np.ndarray) -> np.ndarray:
+        """Gather hypervectors for an index array; shape ``items.shape + (dim,)``."""
+        items = np.asarray(items)
+        if items.size and (items.min() < 0 or items.max() >= self.num_items):
+            raise ValueError(f"items must lie in [0, {self.num_items})")
+        return self._matrix[items]
+
+
+class LevelItemMemory:
+    """Correlated codebook over quantized scalar levels."""
+
+    def __init__(
+        self,
+        levels: int,
+        dim: int,
+        rng: np.random.Generator,
+        scheme: str = "flip",
+    ) -> None:
+        if levels < 2 or dim < 1:
+            raise ValueError("levels must be >= 2 and dim >= 1")
+        if scheme not in _LEVEL_SCHEMES:
+            raise ValueError(f"scheme must be one of {_LEVEL_SCHEMES}, got {scheme!r}")
+        self.levels = levels
+        self.dim = dim
+        self.scheme = scheme
+        self._matrix = self._build(rng)
+        self._matrix.setflags(write=False)
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        if self.scheme == "threshold":
+            # L_k[j] = +1 iff k / (levels - 1) >= R_j with one shared
+            # pseudo-random threshold vector R (the paper's construction).
+            thresholds = rng.random(self.dim)
+            values = np.arange(self.levels, dtype=np.float64) / (self.levels - 1)
+            return np.where(values[:, None] >= thresholds[None, :], 1, -1).astype(
+                np.int8
+            )
+        # "flip": cumulative flips over a random permutation of D/2 positions.
+        base = random_hypervectors(1, self.dim, rng)[0]
+        flip_pool = rng.permutation(self.dim)[: self.dim // 2]
+        matrix = np.tile(base, (self.levels, 1))
+        for level in range(1, self.levels):
+            flips = round(level * len(flip_pool) / (self.levels - 1))
+            matrix[level, flip_pool[:flips]] *= -1
+        return matrix.astype(np.int8)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(levels, dim)`` int8 codebook, row ``k`` = level ``k``."""
+        return self._matrix
+
+    def vector(self, level: int) -> np.ndarray:
+        """Hypervector of one quantized level."""
+        if not 0 <= level < self.levels:
+            raise ValueError(f"level {level} out of range [0, {self.levels})")
+        return self._matrix[level]
+
+    def encode(self, levels: np.ndarray) -> np.ndarray:
+        """Gather hypervectors for a level-index array."""
+        levels = np.asarray(levels)
+        if levels.size and (levels.min() < 0 or levels.max() >= self.levels):
+            raise ValueError(f"levels must lie in [0, {self.levels})")
+        return self._matrix[levels]

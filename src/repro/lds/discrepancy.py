@@ -1,0 +1,94 @@
+"""Uniformity diagnostics for low-discrepancy sequences.
+
+These are the quantitative backing for the paper's claim that
+quasi-randomness gives "high-quality" hypervectors: each Sobol dimension
+must stratify the unit interval (near-optimal star discrepancy), and
+distinct dimensions must stay decorrelated so level hypervectors of
+different pixels remain near-orthogonal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "star_discrepancy_1d",
+    "stratification_counts",
+    "is_zero_one_sequence_prefix",
+    "max_pairwise_correlation",
+    "hypervector_orthogonality",
+]
+
+
+def star_discrepancy_1d(points: np.ndarray) -> float:
+    """Exact 1-D star discrepancy ``D*_n`` of points in ``[0, 1)``.
+
+    Uses the closed form of Niederreiter:
+    ``D*_n = max_i max(i/n - x_(i), x_(i) - (i-1)/n)`` over sorted points.
+    A random sample has ``D*_n ~ n^-1/2``; an LD sequence ``~ log(n)/n``.
+    """
+    points = np.sort(np.asarray(points, dtype=np.float64))
+    n = points.size
+    if n == 0:
+        raise ValueError("need at least one point")
+    if points[0] < 0.0 or points[-1] >= 1.0:
+        raise ValueError("points must lie in [0, 1)")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    upper = np.max(ranks / n - points)
+    lower = np.max(points - (ranks - 1.0) / n)
+    return float(max(upper, lower))
+
+
+def stratification_counts(points: np.ndarray, k: int) -> np.ndarray:
+    """Occupancy of the ``2^k`` dyadic intervals by the first ``2^k`` points.
+
+    For any valid Sobol dimension each count equals exactly 1 — the
+    (0, 1)-sequence property the encoder relies on.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    n = 1 << k
+    points = np.asarray(points, dtype=np.float64)[:n]
+    if points.size != n:
+        raise ValueError(f"need at least {n} points for k={k}")
+    bins = np.floor(points * n).astype(np.int64)
+    if bins.min() < 0 or bins.max() >= n:
+        raise ValueError("points must lie in [0, 1)")
+    return np.bincount(bins, minlength=n)
+
+
+def is_zero_one_sequence_prefix(points: np.ndarray, k: int) -> bool:
+    """True when the first ``2^k`` points one-to-one cover the dyadic bins."""
+    return bool(np.all(stratification_counts(points, k) == 1))
+
+
+def max_pairwise_correlation(matrix: np.ndarray, sample: int | None = None) -> float:
+    """Largest absolute Pearson correlation between any two rows.
+
+    ``matrix`` is ``(n_dims, length)`` — e.g. the per-pixel Sobol scalars.
+    ``sample`` caps the number of rows considered (uniform stride) so the
+    O(dims^2) comparison stays tractable for image-sized dimension counts.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] < 2:
+        raise ValueError("need a 2-D matrix with at least two rows")
+    if sample is not None and matrix.shape[0] > sample:
+        stride = matrix.shape[0] // sample
+        matrix = matrix[::stride][:sample]
+    corr = np.corrcoef(matrix)
+    off_diag = corr[~np.eye(corr.shape[0], dtype=bool)]
+    return float(np.max(np.abs(off_diag)))
+
+
+def hypervector_orthogonality(hypervectors: np.ndarray) -> float:
+    """Mean absolute normalized dot product between distinct bipolar rows.
+
+    0 means perfectly orthogonal hypervectors; iid random +-1 vectors give
+    roughly ``sqrt(2 / (pi * D))``.
+    """
+    hv = np.asarray(hypervectors, dtype=np.float64)
+    if hv.ndim != 2 or hv.shape[0] < 2:
+        raise ValueError("need a 2-D matrix with at least two rows")
+    gram = hv @ hv.T / hv.shape[1]
+    off_diag = gram[~np.eye(gram.shape[0], dtype=bool)]
+    return float(np.mean(np.abs(off_diag)))

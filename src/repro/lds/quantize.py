@@ -1,0 +1,69 @@
+"""Quantization of LD scalars and pixel intensities (paper Fig. 3(a)).
+
+uHD stores Sobol scalars and input intensities as M-bit integers
+(``xi = 2^M`` quantization levels) that double as the ones-count of an
+N-bit unary stream.  The paper's worked example uses ``xi = 16``:
+``0.671875 -> 10``, ``0.359375 -> 5``, ``0.859375 -> 13`` ... which is the
+``round(value * (xi - 1))`` rule implemented here (and verified against
+those exact values in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "quantize_unit",
+    "quantize_intensity",
+    "dequantize",
+    "bits_for_levels",
+]
+
+_INTEGER_KINDS = ("u", "i")
+
+
+def bits_for_levels(levels: int) -> int:
+    """Bit width M needed to store values in ``[0, levels - 1]``."""
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    return int(levels - 1).bit_length()
+
+
+def quantize_unit(values: np.ndarray, levels: int = 16) -> np.ndarray:
+    """Quantize values in ``[0, 1]`` to integers in ``[0, levels - 1]``.
+
+    Follows the paper's ``round(S * (xi - 1))`` convention (Fig. 3(a)).
+    Returns the smallest unsigned dtype that holds the range.
+    """
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size and (values.min() < 0.0 or values.max() > 1.0):
+        raise ValueError("quantize_unit expects values in [0, 1]")
+    dtype = np.uint8 if levels <= 256 else np.uint16
+    return np.rint(values * (levels - 1)).astype(dtype)
+
+
+def quantize_intensity(
+    image: np.ndarray, levels: int = 16, max_value: int = 255
+) -> np.ndarray:
+    """Quantize raw integer intensities (e.g. 8-bit pixels) to M-bit levels.
+
+    ``max_value`` is the full-scale input code (255 for uint8 images).
+    """
+    image = np.asarray(image)
+    if image.dtype.kind in _INTEGER_KINDS:
+        scaled = image.astype(np.float64) / float(max_value)
+    else:
+        scaled = np.asarray(image, dtype=np.float64)
+    return quantize_unit(np.clip(scaled, 0.0, 1.0), levels=levels)
+
+
+def dequantize(codes: np.ndarray, levels: int = 16) -> np.ndarray:
+    """Map M-bit codes back to the unit interval (inverse of the round rule)."""
+    if levels < 2:
+        raise ValueError(f"levels must be >= 2, got {levels}")
+    codes = np.asarray(codes)
+    if codes.size and (codes.min() < 0 or codes.max() > levels - 1):
+        raise ValueError(f"codes must lie in [0, {levels - 1}]")
+    return codes.astype(np.float64) / float(levels - 1)

@@ -1,0 +1,76 @@
+"""Linear matrix scrambling (Matousek) of base-2 digital sequences.
+
+Scrambling randomises a low-discrepancy sequence while provably keeping
+its net structure: multiplying the digit vector by a random
+lower-triangular unit-diagonal GF(2) matrix ``L`` and XOR-ing a random
+digital shift maps every dyadic elementary interval onto another one, so
+each dimension remains a (0, 1)-sequence (the property the uHD encoder
+relies on).  Scrambled replicates give variance estimates for QMC and an
+extra decorrelation knob across dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["matousek_scramble", "random_lower_triangular"]
+
+
+def random_lower_triangular(rng: np.random.Generator, bits: int) -> np.ndarray:
+    """Row masks of a random unit-diagonal lower-triangular GF(2) matrix.
+
+    Row ``r`` (output digit ``r``, MSB first) may combine input digits
+    ``0..r``; the diagonal is forced to 1.  Returned as uint64 masks over
+    the *fixed-point integer* layout (bit ``bits-1-k`` holds digit ``k``).
+    """
+    if not 1 <= bits <= 62:
+        raise ValueError(f"bits must lie in [1, 62], got {bits}")
+    masks = np.zeros(bits, dtype=np.uint64)
+    for row in range(bits):
+        below = int(rng.integers(0, 1 << row)) if row else 0
+        # Digits 0..row-1 live at bit positions bits-1 .. bits-row.
+        mask = 1 << (bits - 1 - row)  # unit diagonal
+        for k in range(row):
+            if (below >> k) & 1:
+                mask |= 1 << (bits - 1 - k)
+        masks[row] = np.uint64(mask)
+    return masks
+
+
+def _parity64(values: np.ndarray) -> np.ndarray:
+    """Bitwise parity of each uint64 element (vectorised popcount & 1)."""
+    values = values.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        values ^= values >> np.uint64(shift)
+    return values & np.uint64(1)
+
+
+def matousek_scramble(
+    integers: np.ndarray,
+    seed: int,
+    bits: int = 32,
+) -> np.ndarray:
+    """Scramble fixed-point sequence integers, one matrix+shift per dimension.
+
+    ``integers`` is the ``(n, dims)`` uint64 output of
+    :meth:`repro.lds.SobolEngine.integers`; the result has the same shape
+    and layout.  Each dimension ``j`` gets an independent matrix ``L_j``
+    and digital shift derived from ``(seed, j)``, so scrambles are
+    reproducible.
+    """
+    integers = np.asarray(integers, dtype=np.uint64)
+    if integers.ndim != 2:
+        raise ValueError("expected an (n, dims) integer matrix")
+    n, dims = integers.shape
+    out = np.zeros_like(integers)
+    for dim in range(dims):
+        rng = np.random.default_rng([seed, dim, 0x5C2A])
+        masks = random_lower_triangular(rng, bits)
+        column = integers[:, dim]
+        scrambled = np.zeros(n, dtype=np.uint64)
+        for row in range(bits):
+            bit = _parity64(column & masks[row])
+            scrambled |= bit << np.uint64(bits - 1 - row)
+        shift = np.uint64(rng.integers(0, 1 << bits, dtype=np.uint64))
+        out[:, dim] = scrambled ^ shift
+    return out

@@ -1,0 +1,228 @@
+"""From-scratch Sobol low-discrepancy sequence generator.
+
+uHD (Fig. 2 of the paper) assigns one Sobol *dimension* to every pixel
+position: pixel ``p`` is encoded by comparing its normalized intensity
+against the ``D`` quasi-random scalars of dimension ``p``.  The positional
+information therefore lives in the Sobol *index*, which is what lets the
+paper drop position hypervectors entirely.
+
+Construction
+------------
+Each dimension is a base-2 digital sequence ``x(k) = XOR of v_i over the
+set bits i of k`` with direction numbers ``v_i = m_i * 2^(max_bits - i)``,
+``m_i`` odd and ``< 2^i``.  That constraint makes the generator matrix
+upper triangular with a unit diagonal, so **every** dimension is a
+(0, 1)-sequence in base 2: the first ``2^k`` points visit each dyadic
+interval of length ``2^-k`` exactly once.  This per-dimension
+equidistribution (not any particular direction-number table) is the
+property uHD's encoding relies on, and it is what the tests assert.
+
+Two initialisation policies are provided:
+
+``init="random"`` (default)
+    All ``m_i`` are seeded-random odd integers.  Per-dimension quality is
+    identical to classic Sobol; cross-dimension correlation is far lower
+    than naive table-free recurrences because dimensions share no leading
+    direction-integer prefix.  This plays the role Joe-Kuo tuning plays in
+    MATLAB's ``sobolset`` (see DESIGN.md, substitutions).
+
+``init="recurrence"``
+    The textbook construction: dimension ``j >= 1`` takes the ``j``-th
+    primitive polynomial over GF(2) (enumerated from scratch by
+    :mod:`repro.lds.gf2`), free odd integers up to the polynomial degree,
+    and the classic recurrence ``m_i = 2 a_1 m_{i-1} XOR 4 a_2 m_{i-2}
+    XOR ... XOR 2^d m_{i-d} XOR m_{i-d}`` beyond it.  Kept for the
+    LD-family ablation; with so few low-degree polynomials, untuned
+    recurrence dimensions can share long prefixes and correlate.
+
+Points are produced in natural order by default, so dimension 0 starts
+``0, 1/2, 1/4, 3/4, 1/8, 5/8, 3/8, ...`` exactly as listed in Fig. 2 of
+the paper (Antonov-Saleev Gray-code order is also available).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import gf2
+
+__all__ = ["SobolEngine", "sobol_sequences"]
+
+_DEFAULT_SEED = 2024
+_INIT_POLICIES = ("random", "recurrence")
+_ORDERS = ("natural", "gray")
+
+
+def _random_direction_integers(rng: np.random.Generator, max_bits: int) -> np.ndarray:
+    """All ``m_i`` seeded-random odd with ``m_i < 2^i`` (init="random")."""
+    m = np.zeros(max_bits, dtype=np.uint64)
+    for i in range(max_bits):
+        m[i] = np.uint64(2 * int(rng.integers(0, 1 << i)) + 1)
+    return m
+
+
+def _recurrence_direction_integers(
+    poly: int, rng: np.random.Generator, max_bits: int
+) -> np.ndarray:
+    """Classic polynomial-recurrence ``m_i`` (init="recurrence")."""
+    d = gf2.degree(poly)
+    m = np.zeros(max_bits, dtype=np.uint64)
+    for i in range(min(d, max_bits)):
+        m[i] = np.uint64(2 * int(rng.integers(0, 1 << i)) + 1)
+    for i in range(d, max_bits):
+        value = int(m[i - d]) ^ (int(m[i - d]) << d)
+        for k in range(1, d):
+            if (poly >> (d - k)) & 1:
+                value ^= int(m[i - k]) << k
+        m[i] = np.uint64(value & ((1 << max_bits) - 1))
+    return m
+
+
+class SobolEngine:
+    """Stateful multi-dimensional Sobol point generator.
+
+    Parameters
+    ----------
+    dimension:
+        Number of Sobol dimensions (for uHD: the pixel count ``H = m x n``).
+    seed:
+        Seed for the direction integers.  Two engines with the same
+        ``(dimension, seed, max_bits, init)`` produce identical streams.
+    max_bits:
+        Fixed-point resolution of each coordinate.  ``2^max_bits`` is the
+        period of each dimension; 32 bits is far beyond any ``D`` used here.
+    init:
+        Direction-integer policy, ``"random"`` or ``"recurrence"`` (see
+        module docstring).
+    order:
+        ``"natural"`` (paper/MATLAB listing) or ``"gray"`` (Antonov-Saleev).
+        Both orders cover the same point set on every ``2^k`` prefix.
+    digital_shift:
+        When true, every dimension is XOR-shifted by a seeded random
+        constant.  A digital shift preserves the (0, 1)-sequence structure
+        while decorrelating dimensions further; the paper's plain MATLAB
+        ``sobolset`` corresponds to ``digital_shift=False``.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        seed: int = _DEFAULT_SEED,
+        max_bits: int = 32,
+        init: str = "random",
+        order: str = "natural",
+        digital_shift: bool = False,
+    ) -> None:
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if not 1 <= max_bits <= 62:
+            raise ValueError(f"max_bits must be in [1, 62], got {max_bits}")
+        if init not in _INIT_POLICIES:
+            raise ValueError(f"init must be one of {_INIT_POLICIES}, got {init!r}")
+        if order not in _ORDERS:
+            raise ValueError(f"order must be one of {_ORDERS}, got {order!r}")
+        self.dimension = dimension
+        self.seed = seed
+        self.max_bits = max_bits
+        self.init = init
+        self.order = order
+        self._index = 0
+        self._directions = self._build_direction_matrix()
+        if digital_shift:
+            shift_rng = np.random.default_rng([seed, 0xD157A1])
+            self._shift = shift_rng.integers(
+                0, 1 << max_bits, size=dimension, dtype=np.uint64
+            )
+        else:
+            self._shift = np.zeros(dimension, dtype=np.uint64)
+
+    def _build_direction_matrix(self) -> np.ndarray:
+        """Direction *numbers* ``v_i = m_i << (max_bits - i)``, shape (dim, max_bits)."""
+        directions = np.zeros((self.dimension, self.max_bits), dtype=np.uint64)
+        shifts = (self.max_bits - 1 - np.arange(self.max_bits)).astype(np.uint64)
+        # Dimension 0 is always plain van der Corput (all m_i = 1), matching
+        # the sequence listed in Fig. 2 of the paper.
+        directions[0] = np.uint64(1) << shifts
+        if self.dimension == 1:
+            return directions
+        if self.init == "recurrence":
+            polys = gf2.first_primitive_polynomials(self.dimension - 1)
+        for dim in range(1, self.dimension):
+            rng = np.random.default_rng([self.seed, dim])
+            if self.init == "random":
+                m = _random_direction_integers(rng, self.max_bits)
+            else:
+                m = _recurrence_direction_integers(polys[dim - 1], rng, self.max_bits)
+            directions[dim] = m << shifts
+        return directions
+
+    # ------------------------------------------------------------------
+    # Point generation
+    # ------------------------------------------------------------------
+    def integers(self, n: int) -> np.ndarray:
+        """Next ``n`` points as fixed-point uint64 in ``[0, 2^max_bits)``.
+
+        Shape ``(n, dimension)``.  Point ``k`` is the XOR of the direction
+        numbers selected by the bits of ``k`` (natural order) or of
+        ``gray(k)``; the loop over bit positions vectorises across points
+        and dimensions.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return np.empty((0, self.dimension), dtype=np.uint64)
+        ks = np.arange(self._index, self._index + n, dtype=np.uint64)
+        codes = ks if self.order == "natural" else ks ^ (ks >> np.uint64(1))
+        points = np.broadcast_to(self._shift, (n, self.dimension)).copy()
+        top_bit = int(codes.max()).bit_length() if n else 0
+        for bit in range(min(self.max_bits, top_bit)):
+            selected = ((codes >> np.uint64(bit)) & np.uint64(1)).astype(bool)
+            if selected.any():
+                points[selected] ^= self._directions[:, bit]
+        self._index += n
+        return points
+
+    def random(self, n: int) -> np.ndarray:
+        """Next ``n`` points as float64 in ``[0, 1)``, shape ``(n, dimension)``."""
+        scale = float(1 << self.max_bits)
+        return self.integers(n).astype(np.float64) / scale
+
+    def reset(self) -> "SobolEngine":
+        """Rewind to the first point; direction numbers are unchanged."""
+        self._index = 0
+        return self
+
+    def fast_forward(self, n: int) -> "SobolEngine":
+        """Skip the next ``n`` points without materialising them."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._index += n
+        return self
+
+    @property
+    def index(self) -> int:
+        """Zero-based index of the next point to be generated."""
+        return self._index
+
+
+def sobol_sequences(
+    n_dims: int,
+    length: int,
+    seed: int = _DEFAULT_SEED,
+    dtype: Optional[np.dtype] = None,
+    init: str = "random",
+    digital_shift: bool = False,
+) -> np.ndarray:
+    """Sobol scalars arranged per dimension: shape ``(n_dims, length)``.
+
+    Row ``p`` holds the ``length`` quasi-random scalars ``S_p`` that uHD
+    compares against pixel ``p``'s intensity (Fig. 2).  ``dtype`` defaults
+    to float64; pass ``np.float32`` to halve memory for large ``D``.
+    """
+    engine = SobolEngine(n_dims, seed=seed, init=init, digital_shift=digital_shift)
+    points = engine.random(length).T  # (n_dims, length)
+    if dtype is not None:
+        points = points.astype(dtype)
+    return np.ascontiguousarray(points)

@@ -1,0 +1,55 @@
+"""Van der Corput radical-inverse sequences.
+
+The base-2 van der Corput sequence is Sobol dimension 0; other bases feed
+the Halton construction (:mod:`repro.lds.halton`).  uHD itself only needs
+Sobol, but the encoder accepts any LD family so the "is Sobol special?"
+ablation bench can swap these in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["radical_inverse", "van_der_corput"]
+
+
+def radical_inverse(index: int, base: int) -> float:
+    """Radical inverse of one non-negative integer in the given base.
+
+    Digits of ``index`` are mirrored around the radix point:
+    ``radical_inverse(6, 2) == 0.011b == 0.375``.
+    """
+    if base < 2:
+        raise ValueError(f"base must be >= 2, got {base}")
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    inverse = 0.0
+    weight = 1.0 / base
+    while index:
+        index, digit = divmod(index, base)
+        inverse += digit * weight
+        weight /= base
+    return inverse
+
+
+def van_der_corput(length: int, base: int = 2, start: int = 0) -> np.ndarray:
+    """First ``length`` van der Corput points in ``base``, from index ``start``.
+
+    Base 2 is vectorised through bit-reversal; other bases fall back to the
+    scalar radical inverse.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if base == 2:
+        indices = np.arange(start, start + length, dtype=np.uint64)
+        bits = max(int(indices.max()).bit_length(), 1) if length else 1
+        values = np.zeros(length, dtype=np.uint64)
+        for bit in range(bits):
+            values |= ((indices >> np.uint64(bit)) & np.uint64(1)) << np.uint64(
+                bits - 1 - bit
+            )
+        return values.astype(np.float64) / float(1 << bits)
+    return np.array(
+        [radical_inverse(i, base) for i in range(start, start + length)],
+        dtype=np.float64,
+    )

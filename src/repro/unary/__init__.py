@@ -1,0 +1,57 @@
+"""Unary bit-stream computing substrate (paper contributions ③④).
+
+Public surface:
+
+* :class:`UnaryBitstream` — validated thermometer codes.
+* :class:`CounterComparatorGenerator` — conventional stream generation
+  (Fig. 3(b), the baseline of checkpoint ➊).
+* :class:`UnaryStreamTable` — the proposed associative fetch (Fig. 3(c)).
+* :func:`unary_ge` / :func:`unary_ge_batch` — the proposed comparator
+  (Fig. 4, checkpoint ➋).
+* :mod:`repro.unary.ops` — AND=min / OR=max algebra.
+* :mod:`repro.unary.correlation` — SCC metrics.
+"""
+
+from .bitstream import Alignment, UnaryBitstream
+from .comparator import (
+    compare_values_via_unary,
+    unary_ge,
+    unary_ge_batch,
+    unary_ge_bits,
+)
+from .correlation import is_maximally_correlated, overlap, scc
+from .generator import CounterComparatorGenerator
+from .ops import (
+    unary_max,
+    unary_max_batch,
+    unary_median3,
+    unary_min,
+    unary_min_batch,
+    unary_sort2,
+)
+from .sorting import batcher_network, compare_exchange_count, unary_rank, unary_sort
+from .ust import UnaryStreamTable
+
+__all__ = [
+    "batcher_network",
+    "unary_sort",
+    "unary_rank",
+    "compare_exchange_count",
+    "UnaryBitstream",
+    "Alignment",
+    "CounterComparatorGenerator",
+    "UnaryStreamTable",
+    "unary_ge",
+    "unary_ge_bits",
+    "unary_ge_batch",
+    "compare_values_via_unary",
+    "unary_min",
+    "unary_max",
+    "unary_sort2",
+    "unary_median3",
+    "unary_min_batch",
+    "unary_max_batch",
+    "scc",
+    "overlap",
+    "is_maximally_correlated",
+]

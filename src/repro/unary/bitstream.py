@@ -1,0 +1,166 @@
+"""Unary (thermometer) bit-streams — the data representation of UBC.
+
+A unary bit-stream of length ``N`` encodes an integer ``v in [0, N]`` as a
+run of ``v`` ones.  The paper aligns the ones to the *end* of the stream
+(``X1 -> 0000011`` encodes 2, ``X2 -> 0011111`` encodes 5); streams with
+leading ones are the mirror convention.  Aligned streams of equal length
+are maximally (positively) correlated, which is what makes bit-wise AND
+compute the minimum and OR the maximum — the property the uHD comparator
+(Fig. 4) exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+__all__ = ["UnaryBitstream", "Alignment"]
+
+Alignment = Literal["trailing", "leading"]
+_ALIGNMENTS = ("trailing", "leading")
+
+
+class UnaryBitstream:
+    """An immutable unary bit-stream.
+
+    Internally a read-only ``numpy.bool_`` vector.  Construction validates
+    unarity (one contiguous run of ones touching the aligned end), so every
+    instance is a legal thermometer code by construction.
+    """
+
+    __slots__ = ("_bits", "_alignment")
+
+    def __init__(self, bits: Iterable[int], alignment: Alignment = "trailing") -> None:
+        if alignment not in _ALIGNMENTS:
+            raise ValueError(f"alignment must be one of {_ALIGNMENTS}")
+        arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+        if arr.ndim != 1:
+            raise ValueError("a bit-stream is one-dimensional")
+        if arr.dtype != np.bool_:
+            if arr.size and not np.isin(arr, (0, 1)).all():
+                raise ValueError("bits must be 0/1")
+            arr = arr.astype(np.bool_)
+        self._bits = arr.copy()
+        self._bits.setflags(write=False)
+        self._alignment = alignment
+        if not self._is_unary():
+            raise ValueError(
+                f"not a unary stream with {alignment} ones: {self.to01()}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_value(
+        cls, value: int, length: int, alignment: Alignment = "trailing"
+    ) -> "UnaryBitstream":
+        """Thermometer-encode ``value`` into a stream of ``length`` bits."""
+        if not 0 <= value <= length:
+            raise ValueError(f"value {value} out of range [0, {length}]")
+        bits = np.zeros(length, dtype=np.bool_)
+        if value:
+            if alignment == "trailing":
+                bits[length - value :] = True
+            else:
+                bits[:value] = True
+        return cls(bits, alignment=alignment)
+
+    @classmethod
+    def from01(cls, text: str, alignment: Alignment = "trailing") -> "UnaryBitstream":
+        """Parse a string like ``"0000011"``."""
+        if set(text) - {"0", "1"}:
+            raise ValueError("from01 expects a string of 0s and 1s")
+        return cls(np.fromiter((c == "1" for c in text), dtype=np.bool_, count=len(text)),
+                   alignment=alignment)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _is_unary(self) -> bool:
+        v = int(self._bits.sum())
+        if v == 0:
+            return True
+        if self._alignment == "trailing":
+            return bool(self._bits[len(self._bits) - v :].all())
+        return bool(self._bits[:v].all())
+
+    @property
+    def value(self) -> int:
+        """Encoded integer = the ones count."""
+        return int(self._bits.sum())
+
+    @property
+    def alignment(self) -> Alignment:
+        return self._alignment
+
+    @property
+    def bits(self) -> np.ndarray:
+        """Read-only bool vector of the raw bits."""
+        return self._bits
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def to01(self) -> str:
+        """Render as a 0/1 string, index 0 first (paper's left-to-right order)."""
+        return "".join("1" if b else "0" for b in self._bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"UnaryBitstream('{self.to01()}', value={self.value})"
+
+    # ------------------------------------------------------------------
+    # Algebra: AND = min, OR = max for aligned streams
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "UnaryBitstream") -> None:
+        if not isinstance(other, UnaryBitstream):
+            raise TypeError("operand must be a UnaryBitstream")
+        if len(self) != len(other):
+            raise ValueError("bit-streams must share a length")
+        if self._alignment != other._alignment:
+            raise ValueError("bit-streams must share an alignment")
+
+    def __and__(self, other: "UnaryBitstream") -> "UnaryBitstream":
+        self._check_compatible(other)
+        return UnaryBitstream(self._bits & other._bits, alignment=self._alignment)
+
+    def __or__(self, other: "UnaryBitstream") -> "UnaryBitstream":
+        self._check_compatible(other)
+        return UnaryBitstream(self._bits | other._bits, alignment=self._alignment)
+
+    def complement(self) -> "UnaryBitstream":
+        """Bit-wise NOT; flips the alignment and encodes ``N - value``."""
+        flipped: Alignment = "leading" if self._alignment == "trailing" else "trailing"
+        return UnaryBitstream(~self._bits, alignment=flipped)
+
+    # ------------------------------------------------------------------
+    # Comparisons are by encoded value
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UnaryBitstream):
+            return NotImplemented
+        return (
+            len(self) == len(other)
+            and self._alignment == other._alignment
+            and bool(np.array_equal(self._bits, other._bits))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._alignment, self._bits.tobytes()))
+
+    def __lt__(self, other: "UnaryBitstream") -> bool:
+        self._check_compatible(other)
+        return self.value < other.value
+
+    def __le__(self, other: "UnaryBitstream") -> bool:
+        self._check_compatible(other)
+        return self.value <= other.value
+
+    def __gt__(self, other: "UnaryBitstream") -> bool:
+        self._check_compatible(other)
+        return self.value > other.value
+
+    def __ge__(self, other: "UnaryBitstream") -> bool:
+        self._check_compatible(other)
+        return self.value >= other.value

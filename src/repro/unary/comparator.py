@@ -1,0 +1,76 @@
+"""The proposed unary bit-stream comparator (paper Fig. 4).
+
+For two aligned unary streams the bit-wise AND is the minimum stream.  The
+comparator decides ``first >= second`` with pure combinational logic:
+
+* ``minimum_i = first_i AND second_i``
+* ``check_i   = minimum_i OR NOT second_i``
+* ``ge        = AND over all N check bits``
+
+``check_i`` simplifies to ``first_i OR NOT second_i``: wherever the second
+operand has a one, the first must too — exactly the thermometer dominance
+condition.  The output drives one hypervector bit: logic-1 when the data
+value is greater than or equal to the Sobol scalar (``+1`` dimension),
+logic-0 otherwise (``-1`` dimension).
+
+Functional model here; the gate-level netlist with energy accounting is
+:mod:`repro.hardware.circuits.unary_comparator` (design checkpoint ➋).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import UnaryBitstream
+
+__all__ = [
+    "unary_ge",
+    "unary_ge_bits",
+    "unary_ge_batch",
+    "compare_values_via_unary",
+]
+
+
+def unary_ge(first: UnaryBitstream, second: UnaryBitstream) -> bool:
+    """``value(first) >= value(second)`` via the Fig. 4 logic."""
+    if len(first) != len(second):
+        raise ValueError("bit-streams must share a length")
+    if first.alignment != second.alignment:
+        raise ValueError("bit-streams must share an alignment")
+    return unary_ge_bits(first.bits, second.bits)
+
+
+def unary_ge_bits(first: np.ndarray, second: np.ndarray) -> bool:
+    """Raw-bit variant of :func:`unary_ge` for pre-validated inputs."""
+    first = np.asarray(first, dtype=np.bool_)
+    second = np.asarray(second, dtype=np.bool_)
+    if first.shape != second.shape:
+        raise ValueError("bit vectors must share a shape")
+    minimum = first & second
+    check = minimum | ~second
+    return bool(check.all())
+
+
+def unary_ge_batch(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """Vectorised comparator over stream matrices.
+
+    ``first`` and ``second`` are broadcast-compatible bool arrays whose last
+    axis is the stream; the result drops that axis.  This is the hot path of
+    the unary-domain image encoder: one call compares every (pixel,
+    dimension) pair of an image.
+    """
+    first = np.asarray(first, dtype=np.bool_)
+    second = np.asarray(second, dtype=np.bool_)
+    return np.all(first | ~second, axis=-1)
+
+
+def compare_values_via_unary(a: int, b: int, length: int) -> bool:
+    """Encode two integers as unary streams and compare them (``a >= b``).
+
+    Round-trip convenience used by tests to pin the comparator against plain
+    integer comparison for every pair in range.
+    """
+    return unary_ge(
+        UnaryBitstream.from_value(a, length),
+        UnaryBitstream.from_value(b, length),
+    )

@@ -1,0 +1,66 @@
+"""Bit-stream correlation metrics from the stochastic-computing literature.
+
+The stochastic cross-correlation (SCC) of Alaghi & Hayes quantifies bit
+alignment between two streams: +1 for maximally overlapped ones (unary
+streams with a shared alignment), -1 for maximally anti-overlapped, 0 for
+independent.  uHD's comparator correctness rests on SCC = +1 between its
+operands, so the metric is both a diagnostic and a test oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["scc", "overlap", "is_maximally_correlated"]
+
+
+def overlap(x: np.ndarray, y: np.ndarray) -> int:
+    """Number of positions where both streams carry a one."""
+    x = np.asarray(x, dtype=np.bool_)
+    y = np.asarray(y, dtype=np.bool_)
+    if x.shape != y.shape:
+        raise ValueError("streams must share a shape")
+    return int(np.count_nonzero(x & y))
+
+
+def scc(x: np.ndarray, y: np.ndarray) -> float:
+    """Stochastic cross-correlation in ``[-1, +1]``.
+
+    With ``p11`` the joint ones-probability and ``p1``/``p2`` the marginals:
+
+    * if ``p11 > p1 p2``:  ``(p11 - p1 p2) / (min(p1, p2) - p1 p2)``
+    * if ``p11 < p1 p2``:  ``(p11 - p1 p2) / (p1 p2 - max(p1 + p2 - 1, 0))``
+    * else 0.
+
+    Degenerate streams (all zeros or all ones) have undefined alignment and
+    return 0 by convention.
+    """
+    x = np.asarray(x, dtype=np.bool_)
+    y = np.asarray(y, dtype=np.bool_)
+    if x.shape != y.shape:
+        raise ValueError("streams must share a shape")
+    n = x.size
+    if n == 0:
+        raise ValueError("streams must be non-empty")
+    p1 = np.count_nonzero(x) / n
+    p2 = np.count_nonzero(y) / n
+    p11 = overlap(x, y) / n
+    product = p1 * p2
+    if p1 in (0.0, 1.0) or p2 in (0.0, 1.0):
+        return 0.0
+    if p11 > product:
+        return float((p11 - product) / (min(p1, p2) - product))
+    if p11 < product:
+        return float((p11 - product) / (product - max(p1 + p2 - 1.0, 0.0)))
+    return 0.0
+
+
+def is_maximally_correlated(x: np.ndarray, y: np.ndarray) -> bool:
+    """True when the ones of one stream contain the ones of the other.
+
+    Equivalent to SCC = +1 for non-degenerate streams, and exactly the
+    precondition under which AND computes the minimum.
+    """
+    x = np.asarray(x, dtype=np.bool_)
+    y = np.asarray(y, dtype=np.bool_)
+    return overlap(x, y) == min(int(x.sum()), int(y.sum()))

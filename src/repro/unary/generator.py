@@ -1,0 +1,78 @@
+"""Conventional unary bit-stream generation (paper Fig. 3(b)).
+
+The textbook generator pairs an M-bit free-running counter with an M-bit
+binary comparator: at cycle ``k`` the output bit is the comparison of the
+input value against the counter state.  This is the *baseline* the paper's
+associative UST fetch (Fig. 3(c), :mod:`repro.unary.ust`) replaces; the
+energy comparison between the two is design checkpoint ➊.
+
+This module is the functional model; the gate-level netlist used for the
+energy numbers lives in :mod:`repro.hardware.circuits.generator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Alignment, UnaryBitstream
+
+__all__ = ["CounterComparatorGenerator"]
+
+
+class CounterComparatorGenerator:
+    """M-bit counter + comparator unary stream generator.
+
+    Parameters
+    ----------
+    bits:
+        Counter width M; streams have length ``N = 2^M``.
+    alignment:
+        ``"trailing"`` emits ``value > counter_downto`` so ones gather at the
+        end of the stream (the paper's convention); ``"leading"`` emits
+        ``value > counter`` so ones lead.
+    """
+
+    def __init__(self, bits: int, alignment: Alignment = "trailing") -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.length = 1 << bits
+        self.alignment = alignment
+
+    def cycle_output(self, value: int, cycle: int) -> bool:
+        """Output bit at one counter cycle (the per-clock hardware behaviour)."""
+        if not 0 <= value <= self.length:
+            raise ValueError(f"value {value} out of range [0, {self.length}]")
+        if not 0 <= cycle < self.length:
+            raise ValueError(f"cycle {cycle} out of range [0, {self.length})")
+        if self.alignment == "leading":
+            return value > cycle
+        return value > (self.length - 1 - cycle)
+
+    def generate(self, value: int) -> UnaryBitstream:
+        """Full stream for ``value`` after ``N`` counter cycles."""
+        bits = np.fromiter(
+            (self.cycle_output(value, k) for k in range(self.length)),
+            dtype=np.bool_,
+            count=self.length,
+        )
+        return UnaryBitstream(bits, alignment=self.alignment)
+
+    def generate_batch(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised stream matrix for many values, shape ``(len(values), N)``."""
+        values = np.asarray(values)
+        if values.size and (values.min() < 0 or values.max() > self.length):
+            raise ValueError(f"values must lie in [0, {self.length}]")
+        cycles = np.arange(self.length)
+        if self.alignment == "leading":
+            return values[:, None] > cycles[None, :]
+        return values[:, None] > (self.length - 1 - cycles)[None, :]
+
+    def counter_toggles(self) -> int:
+        """Total flip-flop toggles of one full M-bit count cycle.
+
+        Bit ``b`` of a binary counter toggles ``2^(M-b)`` times over ``2^M``
+        cycles; the sum ``2^(M+1) - 2`` feeds the first-order energy model
+        that motivates replacing this generator with the UST fetch.
+        """
+        return (1 << (self.bits + 1)) - 2

@@ -1,0 +1,68 @@
+"""Unary sorting networks (Najafi et al., the paper's reference [16]).
+
+The uHD comparator is built on the observation that aligned unary streams
+make order statistics single-gate operations: AND is min, OR is max, so a
+compare-and-swap cell costs two gates and a full sorting network costs
+two gates per cell.  This module implements Batcher's odd-even merge
+network over unary streams — the "low-cost sorting network circuits using
+unary processing" the paper cites as the foundation of its comparator.
+"""
+
+from __future__ import annotations
+
+from .bitstream import UnaryBitstream
+from .ops import unary_sort2
+
+__all__ = [
+    "batcher_network",
+    "unary_sort",
+    "unary_rank",
+    "compare_exchange_count",
+]
+
+
+def batcher_network(n: int) -> list[tuple[int, int]]:
+    """Compare-exchange pairs of Batcher's odd-even merging network.
+
+    Returns the ordered list of ``(i, j)`` lanes (``i < j``) such that
+    applying min/max at each pair sorts any ``n`` inputs.  Works for any
+    ``n`` (not just powers of two) via the standard index guard.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    pairs: list[tuple[int, int]] = []
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        pairs.append((i + j, i + j + k))
+            k //= 2
+        p *= 2
+    return pairs
+
+
+def unary_sort(streams: list[UnaryBitstream]) -> list[UnaryBitstream]:
+    """Sort unary streams ascending with two gates per compare-exchange."""
+    lanes = list(streams)
+    for i, j in batcher_network(len(lanes)):
+        lanes[i], lanes[j] = unary_sort2(lanes[i], lanes[j])
+    return lanes
+
+
+def unary_rank(streams: list[UnaryBitstream], rank: int) -> UnaryBitstream:
+    """The ``rank``-th smallest stream (0-based) via the full network.
+
+    A median filter — the classic application of unary sorting networks in
+    image processing — is ``unary_rank(window, len(window) // 2)``.
+    """
+    if not 0 <= rank < len(streams):
+        raise ValueError(f"rank {rank} out of range for {len(streams)} streams")
+    return unary_sort(streams)[rank]
+
+
+def compare_exchange_count(n: int) -> int:
+    """Number of compare-exchange cells (2 gates each) for ``n`` lanes."""
+    return len(batcher_network(n))

@@ -1,0 +1,88 @@
+"""Unary Stream Table — the paper's associative stream fetcher (Fig. 3(c)).
+
+uHD only ever needs ``N = xi``-bit streams (default 16), so all ``xi``
+possible thermometer codes fit in a tiny associative memory.  An M-bit
+binary scalar (from REGs or BRAM) indexes the table and the stream is
+fetched in one access instead of ``2^M`` counter cycles.  Energy of fetch
+vs. counter+comparator generation is design checkpoint ➊.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .bitstream import Alignment, UnaryBitstream
+
+__all__ = ["UnaryStreamTable"]
+
+
+class UnaryStreamTable:
+    """Pre-stored table of every unary stream for M-bit scalars.
+
+    Parameters
+    ----------
+    levels:
+        Number of quantization levels ``xi``; valid codes are
+        ``0 .. levels - 1``.
+    length:
+        Stream length N.  Defaults to ``levels`` (the paper's
+        ``xi = 16 -> N = 16``); must satisfy ``length >= levels - 1`` so the
+        largest code fits.
+    alignment:
+        Ones placement convention, shared by every row.
+    """
+
+    def __init__(
+        self,
+        levels: int = 16,
+        length: int | None = None,
+        alignment: Alignment = "trailing",
+    ) -> None:
+        if levels < 2:
+            raise ValueError(f"levels must be >= 2, got {levels}")
+        if length is None:
+            length = levels
+        if length < levels - 1:
+            raise ValueError(
+                f"length {length} cannot encode codes up to {levels - 1}"
+            )
+        self.levels = levels
+        self.length = length
+        self.alignment = alignment
+        self._table = self._build()
+
+    def _build(self) -> np.ndarray:
+        codes = np.arange(self.levels)
+        positions = np.arange(self.length)
+        if self.alignment == "leading":
+            table = positions[None, :] < codes[:, None]
+        else:
+            table = positions[None, :] >= (self.length - codes)[:, None]
+        table.setflags(write=False)
+        return table
+
+    @property
+    def table(self) -> np.ndarray:
+        """Read-only ``(levels, length)`` bool matrix, row ``c`` encodes ``c``."""
+        return self._table
+
+    def fetch(self, code: int) -> UnaryBitstream:
+        """Stream for one M-bit code (one associative-memory access)."""
+        if not 0 <= code < self.levels:
+            raise ValueError(f"code {code} out of range [0, {self.levels})")
+        return UnaryBitstream(self._table[code], alignment=self.alignment)
+
+    def fetch_batch(self, codes: np.ndarray) -> np.ndarray:
+        """Stream matrix for an array of codes; shape ``codes.shape + (length,)``.
+
+        This is the vectorised path the image encoder uses: one gather per
+        pixel instead of any per-bit computation.
+        """
+        codes = np.asarray(codes)
+        if codes.size and (codes.min() < 0 or codes.max() >= self.levels):
+            raise ValueError(f"codes must lie in [0, {self.levels})")
+        return self._table[codes]
+
+    def memory_bits(self) -> int:
+        """Storage footprint of the table in bits (for the memory model)."""
+        return self.levels * self.length

@@ -1,0 +1,6 @@
+"""Small shared utilities."""
+
+from .timing import Stopwatch
+from .validation import require_in_range, require_positive
+
+__all__ = ["Stopwatch", "require_positive", "require_in_range"]

@@ -1,0 +1,29 @@
+"""Wall-clock helpers for examples and experiment logs."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start

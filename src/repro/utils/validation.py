@@ -1,0 +1,17 @@
+"""Argument validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+__all__ = ["require_positive", "require_in_range"]
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise ValueError unless ``value > 0``."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_in_range(value: float, lo: float, hi: float, name: str) -> None:
+    """Raise ValueError unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must lie in [{lo}, {hi}], got {value}")

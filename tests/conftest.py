@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthetic_mnist
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic RNG for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_digits():
+    """A small, session-cached digit dataset (fast enough for any test)."""
+    return synthetic_mnist(n_train=200, n_test=100, seed=7)

@@ -1,0 +1,139 @@
+"""UHDConfig and the Sobol level-only encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SobolLevelEncoder, UHDConfig
+from repro.lds.quantize import quantize_intensity, quantize_unit
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = UHDConfig()
+        assert config.dim == 1024
+        assert config.levels == 16
+        assert config.quantized
+
+    def test_derived_properties(self):
+        config = UHDConfig(levels=16)
+        assert config.quantization_bits == 4
+        assert config.stream_length == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UHDConfig(dim=0)
+        with pytest.raises(ValueError):
+            UHDConfig(levels=1)
+        with pytest.raises(ValueError):
+            UHDConfig(lds="latin")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            UHDConfig().dim = 2048
+
+
+class TestEncoderConstruction:
+    def test_sequences_shape(self):
+        enc = SobolLevelEncoder(49, UHDConfig(dim=128))
+        assert enc.sequences.shape == (49, 128)
+        assert enc.sequences.dtype == np.float32
+
+    def test_quantized_codes_present(self):
+        enc = SobolLevelEncoder(10, UHDConfig(dim=64))
+        assert enc.quantized_codes is not None
+        assert enc.quantized_codes.shape == (10, 64)
+
+    def test_full_precision_has_no_codes(self):
+        enc = SobolLevelEncoder(10, UHDConfig(dim=64, quantized=False))
+        assert enc.quantized_codes is None
+
+    def test_halton_family(self):
+        enc = SobolLevelEncoder(10, UHDConfig(dim=64, lds="halton"))
+        assert enc.sequences.shape == (10, 64)
+
+    def test_bad_pixels(self):
+        with pytest.raises(ValueError):
+            SobolLevelEncoder(0, UHDConfig())
+
+
+class TestEncodeCorrectness:
+    def test_matches_manual_threshold_count(self):
+        config = UHDConfig(dim=64, levels=16)
+        enc = SobolLevelEncoder(5, config)
+        image = np.array([0, 60, 120, 200, 255], dtype=np.uint8)
+        codes = quantize_intensity(image, 16)
+        expected = np.zeros(64, dtype=np.int64)
+        for p in range(5):
+            ge = codes[p] >= enc.quantized_codes[p]
+            expected += np.where(ge, 1, -1)
+        np.testing.assert_array_equal(enc.encode(image), expected)
+
+    def test_full_precision_manual(self):
+        config = UHDConfig(dim=32, quantized=False)
+        enc = SobolLevelEncoder(3, config)
+        image = np.array([0, 128, 255], dtype=np.uint8)
+        x = image.astype(np.float32) / np.float32(255.0)
+        expected = np.zeros(32, dtype=np.int64)
+        for p in range(3):
+            expected += np.where(x[p] >= enc.sequences[p], 1, -1)
+        np.testing.assert_array_equal(enc.encode(image), expected)
+
+    def test_batch_matches_single(self):
+        enc = SobolLevelEncoder(16, UHDConfig(dim=64))
+        rng = np.random.default_rng(0)
+        images = rng.integers(0, 256, size=(7, 16), dtype=np.uint8)
+        batch = enc.encode_batch(images, chunk=3)
+        for row, image in zip(batch, images):
+            np.testing.assert_array_equal(row, enc.encode(image))
+
+    def test_accumulator_range(self):
+        enc = SobolLevelEncoder(9, UHDConfig(dim=32))
+        image = np.zeros(9, dtype=np.uint8)
+        encoded = enc.encode(image)
+        assert np.abs(encoded).max() <= 9
+
+    @given(intensity=st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_ones_count_proportional(self, intensity):
+        # A (0,1)-sequence guarantees the ones-count of L_p tracks the
+        # quantized intensity to within rounding over a dyadic prefix.
+        config = UHDConfig(dim=256, levels=16)
+        enc = SobolLevelEncoder(2, config)
+        hv = enc.level_hypervector(intensity / 255.0, pixel=1)
+        ones = int((hv == 1).sum())
+        code = int(quantize_unit(np.array([intensity / 255.0]), 16)[0])
+        # Codes 0..15 threshold against quantized sobol codes; ones-rate
+        # is (code + 1) * 16 of 256 entries at xi = 16 resolution.
+        expected = (code + 1) * 16
+        assert abs(ones - expected) <= 16
+
+    def test_extreme_intensities(self):
+        enc = SobolLevelEncoder(2, UHDConfig(dim=64))
+        bright = enc.level_hypervector(1.0, pixel=0)
+        assert (bright == 1).all()  # max code >= every sobol code
+
+    def test_deterministic_given_seed(self):
+        a = SobolLevelEncoder(8, UHDConfig(dim=64, seed=1))
+        b = SobolLevelEncoder(8, UHDConfig(dim=64, seed=1))
+        np.testing.assert_array_equal(a.sequences, b.sequences)
+
+    def test_seed_changes_sequences(self):
+        a = SobolLevelEncoder(8, UHDConfig(dim=64, seed=1))
+        b = SobolLevelEncoder(8, UHDConfig(dim=64, seed=2))
+        assert not np.array_equal(a.sequences, b.sequences)
+
+
+class TestEncodeValidation:
+    def test_wrong_pixel_count(self):
+        enc = SobolLevelEncoder(10, UHDConfig(dim=32))
+        with pytest.raises(ValueError):
+            enc.encode(np.zeros(9, dtype=np.uint8))
+
+    def test_level_hypervector_validation(self):
+        enc = SobolLevelEncoder(4, UHDConfig(dim=32))
+        with pytest.raises(ValueError):
+            enc.level_hypervector(0.5, pixel=4)
+        with pytest.raises(ValueError):
+            enc.level_hypervector(1.5, pixel=0)

@@ -1,0 +1,88 @@
+"""Property-based invariants of the uHD encoding pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import SobolLevelEncoder, UHDConfig, masking_binarize
+from repro.hdc import CentroidClassifier
+from repro.hdc.ops import binarize
+
+_PIXELS = 16
+_CONFIG = UHDConfig(dim=64, levels=16)
+
+images = hnp.arrays(np.uint8, (_PIXELS,), elements=st.integers(0, 255))
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return SobolLevelEncoder(_PIXELS, _CONFIG)
+
+
+class TestEncoderProperties:
+    @given(image=images)
+    @settings(max_examples=40, deadline=None)
+    def test_accumulator_bounds(self, encoder, image):
+        encoded = encoder.encode(image)
+        assert np.abs(encoded).max() <= _PIXELS
+        # Parity: sum of +-1 over H pixels shares H's parity.
+        assert ((encoded + _PIXELS) % 2 == 0).all()
+
+    @given(image=images)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_intensity(self, encoder, image):
+        # Brightening every pixel can only increase each accumulator lane.
+        brighter = np.minimum(image.astype(np.int64) + 60, 255).astype(np.uint8)
+        np.testing.assert_array_less(
+            encoder.encode(image) - 1, encoder.encode(brighter) + 1
+        )
+
+    @given(image=images)
+    @settings(max_examples=30, deadline=None)
+    def test_batch_consistency(self, encoder, image):
+        batch = encoder.encode_batch(np.stack([image, image]))
+        np.testing.assert_array_equal(batch[0], batch[1])
+        np.testing.assert_array_equal(batch[0], encoder.encode(image))
+
+    def test_all_black_all_white_extremes(self, encoder):
+        black = encoder.encode(np.zeros(_PIXELS, dtype=np.uint8))
+        white = encoder.encode(np.full(_PIXELS, 255, dtype=np.uint8))
+        assert (white == _PIXELS).all()  # every comparison passes
+        assert black.sum() < white.sum()
+
+    @given(h=st.integers(2, 64))
+    @settings(max_examples=30)
+    def test_masking_binarize_matches_sign(self, h):
+        accumulators = np.arange(-h, h + 1, 2)
+        np.testing.assert_array_equal(
+            masking_binarize(accumulators, h), binarize(accumulators)
+        )
+
+
+class TestClassifierProperties:
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_training_order_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        encoded = rng.integers(-20, 20, size=(30, 64))
+        labels = rng.integers(0, 3, size=30)
+        forward = CentroidClassifier(3, 64).fit(encoded, labels)
+        order = rng.permutation(30)
+        shuffled = CentroidClassifier(3, 64).fit(encoded[order], labels[order])
+        np.testing.assert_array_equal(forward.accumulators,
+                                      shuffled.accumulators)
+
+    @given(scale=st.integers(2, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_prediction_scale_invariance(self, scale):
+        # Cosine inference is invariant to scaling the queries.
+        rng = np.random.default_rng(0)
+        encoded = rng.integers(-20, 20, size=(30, 64))
+        labels = rng.integers(0, 3, size=30)
+        clf = CentroidClassifier(3, 64).fit(encoded, labels)
+        queries = rng.integers(-20, 20, size=(8, 64))
+        np.testing.assert_array_equal(
+            clf.predict(queries), clf.predict(queries * scale)
+        )

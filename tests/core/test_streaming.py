@@ -1,0 +1,71 @@
+"""Streaming (online) uHD training."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingUHD, UHDClassifier, UHDConfig
+
+
+class TestPartialFit:
+    def test_incremental_equals_batch(self, tiny_digits):
+        config = UHDConfig(dim=256)
+        online = StreamingUHD(784, 10, config)
+        half = tiny_digits.train_images.shape[0] // 2
+        online.partial_fit(tiny_digits.train_images[:half],
+                           tiny_digits.train_labels[:half])
+        online.partial_fit(tiny_digits.train_images[half:],
+                           tiny_digits.train_labels[half:])
+
+        batch = UHDClassifier(784, 10, config)
+        batch.fit(tiny_digits.train_images, tiny_digits.train_labels)
+
+        np.testing.assert_array_equal(
+            online.classifier.accumulators, batch.classifier.accumulators
+        )
+        np.testing.assert_array_equal(
+            online.predict(tiny_digits.test_images),
+            batch.predict(tiny_digits.test_images),
+        )
+
+    def test_samples_seen(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        model.partial_fit(tiny_digits.train_images[:30],
+                          tiny_digits.train_labels[:30])
+        assert model.samples_seen == 30
+
+    def test_predict_before_fit_raises(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        with pytest.raises(RuntimeError):
+            model.predict(tiny_digits.test_images)
+        with pytest.raises(RuntimeError):
+            model.score(tiny_digits.test_images, tiny_digits.test_labels)
+
+
+class TestPrequential:
+    def test_accuracy_improves_along_stream(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=512))
+        accuracies = model.evaluate_prequential(
+            tiny_digits.train_images, tiny_digits.train_labels, batch_size=25
+        )
+        assert len(accuracies) == tiny_digits.train_images.shape[0] // 25 - 1
+        # Later batches should beat the early ones on average.
+        assert np.mean(accuracies[-2:]) >= np.mean(accuracies[:2]) - 0.1
+
+    def test_final_model_beats_chance(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=512))
+        model.evaluate_prequential(tiny_digits.train_images,
+                                   tiny_digits.train_labels, batch_size=40)
+        assert model.score(tiny_digits.test_images,
+                           tiny_digits.test_labels) > 0.3
+
+    def test_batch_size_validation(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        with pytest.raises(ValueError):
+            model.evaluate_prequential(tiny_digits.train_images,
+                                       tiny_digits.train_labels, batch_size=0)
+
+    def test_count_mismatch(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        with pytest.raises(ValueError):
+            model.evaluate_prequential(tiny_digits.train_images,
+                                       tiny_digits.train_labels[:5])

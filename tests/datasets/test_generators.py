@@ -1,0 +1,121 @@
+"""Procedural dataset generators: shapes, determinism, class structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    load_dataset,
+    render_blood_cell,
+    render_breast_scan,
+    render_digit,
+    render_garment,
+    render_house_number,
+    render_object,
+    synthetic_blood,
+    synthetic_breast,
+    synthetic_cifar10,
+    synthetic_fashion,
+    synthetic_mnist,
+    synthetic_svhn,
+)
+
+_EXPECTED = {
+    "mnist": ((28, 28), 10),
+    "fashion": ((28, 28), 10),
+    "cifar10": ((32, 32, 3), 10),
+    "blood": ((28, 28, 3), 8),
+    "breast": ((28, 28), 2),
+    "svhn": ((32, 32, 3), 10),
+}
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(DATASET_NAMES) == set(_EXPECTED)
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_shapes_and_classes(self, name):
+        shape, classes = _EXPECTED[name]
+        data = load_dataset(name, n_train=2 * classes, n_test=classes, seed=0)
+        assert data.image_shape == shape
+        assert data.num_classes == classes
+        assert data.train_images.dtype == np.uint8
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+    @pytest.mark.parametrize("name", sorted(_EXPECTED))
+    def test_deterministic(self, name):
+        classes = _EXPECTED[name][1]
+        a = load_dataset(name, n_train=classes, n_test=classes, seed=3)
+        b = load_dataset(name, n_train=classes, n_test=classes, seed=3)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_seed_changes_images(self):
+        a = load_dataset("mnist", n_train=10, n_test=10, seed=0)
+        b = load_dataset("mnist", n_train=10, n_test=10, seed=1)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+
+class TestClassBalance:
+    @pytest.mark.parametrize("factory,classes", [
+        (synthetic_mnist, 10),
+        (synthetic_fashion, 10),
+        (synthetic_cifar10, 10),
+        (synthetic_blood, 8),
+        (synthetic_breast, 2),
+        (synthetic_svhn, 10),
+    ])
+    def test_balanced_labels(self, factory, classes):
+        data = factory(n_train=classes * 3, n_test=classes, seed=0)
+        counts = np.bincount(data.train_labels, minlength=classes)
+        assert (counts == 3).all()
+
+
+class TestMnistStatistics:
+    def test_sparse_background(self):
+        data = synthetic_mnist(n_train=50, n_test=10, seed=0)
+        zero_fraction = float((data.train_images == 0).mean())
+        assert zero_fraction > 0.6  # real MNIST is ~0.80
+
+    def test_strokes_bright(self):
+        data = synthetic_mnist(n_train=50, n_test=10, seed=0)
+        assert data.train_images.max() > 200
+
+
+class TestRenderers:
+    @pytest.mark.parametrize("renderer,labels,rgb", [
+        (render_digit, range(10), False),
+        (render_garment, range(10), False),
+        (render_object, range(10), True),
+        (render_blood_cell, range(8), True),
+        (render_breast_scan, range(2), False),
+        (render_house_number, range(10), True),
+    ])
+    def test_output_range_all_classes(self, renderer, labels, rgb):
+        rng = np.random.default_rng(0)
+        for label in labels:
+            img = renderer(label, 28, rng)
+            assert img.min() >= 0.0 and img.max() <= 1.0
+            assert img.ndim == (3 if rgb else 2)
+
+    @pytest.mark.parametrize("renderer,bad", [
+        (render_digit, 10),
+        (render_garment, -1),
+        (render_object, 10),
+        (render_blood_cell, 8),
+        (render_breast_scan, 2),
+    ])
+    def test_bad_label(self, renderer, bad):
+        with pytest.raises(ValueError):
+            renderer(bad, 28, np.random.default_rng(0))
+
+    def test_classes_are_distinguishable(self):
+        # Mean images of different digit classes must differ substantially.
+        rng = np.random.default_rng(1)
+        mean0 = np.mean([render_digit(0, 28, rng) for _ in range(10)], axis=0)
+        mean1 = np.mean([render_digit(1, 28, rng) for _ in range(10)], axis=0)
+        assert np.abs(mean0 - mean1).mean() > 0.02

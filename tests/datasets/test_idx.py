@@ -1,0 +1,97 @@
+"""IDX parsing and the real-MNIST fallback loader."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.idx import load_real_mnist, parse_idx
+
+
+def encode_idx(array: np.ndarray) -> bytes:
+    """Build a valid IDX buffer from a uint8 array."""
+    header = struct.pack(">BBBB", 0, 0, 0x08, array.ndim)
+    header += struct.pack(f">{array.ndim}I", *array.shape)
+    return header + array.astype(np.uint8).tobytes()
+
+
+class TestParseIdx:
+    def test_round_trip_3d(self):
+        array = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        np.testing.assert_array_equal(parse_idx(encode_idx(array)), array)
+
+    def test_round_trip_1d(self):
+        array = np.array([5, 0, 9], dtype=np.uint8)
+        np.testing.assert_array_equal(parse_idx(encode_idx(array)), array)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            parse_idx(b"\x01\x00\x08\x01" + b"\x00" * 8)
+
+    def test_unknown_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            parse_idx(struct.pack(">BBBB", 0, 0, 0x05, 1) + b"\x00" * 8)
+
+    def test_truncated_payload(self):
+        array = np.zeros(10, dtype=np.uint8)
+        data = encode_idx(array)[:-2]
+        with pytest.raises(ValueError, match="size"):
+            parse_idx(data)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            parse_idx(b"\x00\x00")
+
+
+class TestLoadRealMnist:
+    def test_missing_directory_returns_none(self, tmp_path):
+        assert load_real_mnist(tmp_path / "nope") is None
+
+    def test_partial_files_return_none(self, tmp_path):
+        (tmp_path / "train-images-idx3-ubyte").write_bytes(
+            encode_idx(np.zeros((1, 28, 28), dtype=np.uint8))
+        )
+        assert load_real_mnist(tmp_path) is None
+
+    def _write_full_set(self, directory, gzipped=False):
+        rng = np.random.default_rng(0)
+        files = {
+            "train-images-idx3-ubyte": rng.integers(
+                0, 256, size=(20, 28, 28), dtype=np.uint8),
+            "train-labels-idx1-ubyte": (np.arange(20) % 10).astype(np.uint8),
+            "t10k-images-idx3-ubyte": rng.integers(
+                0, 256, size=(10, 28, 28), dtype=np.uint8),
+            "t10k-labels-idx1-ubyte": (np.arange(10) % 10).astype(np.uint8),
+        }
+        for stem, array in files.items():
+            payload = encode_idx(array)
+            if gzipped:
+                (directory / f"{stem}.gz").write_bytes(gzip.compress(payload))
+            else:
+                (directory / stem).write_bytes(payload)
+        return files
+
+    def test_full_set_loads(self, tmp_path):
+        files = self._write_full_set(tmp_path)
+        data = load_real_mnist(tmp_path)
+        assert data is not None
+        assert data.name == "mnist"
+        np.testing.assert_array_equal(
+            data.train_images, files["train-images-idx3-ubyte"])
+        assert data.train_labels.dtype == np.int64
+
+    def test_gzipped_set_loads(self, tmp_path):
+        self._write_full_set(tmp_path, gzipped=True)
+        data = load_real_mnist(tmp_path)
+        assert data is not None
+        assert data.test_images.shape == (10, 28, 28)
+
+    def test_registry_uses_real_files(self, tmp_path, monkeypatch):
+        from repro.datasets import load_dataset
+
+        self._write_full_set(tmp_path)
+        monkeypatch.setenv("REPRO_MNIST_DIR", str(tmp_path))
+        data = load_dataset("mnist", n_train=10, n_test=10, seed=0)
+        assert data.name == "mnist"
+        assert data.train_images.shape[0] == 10

@@ -1,0 +1,186 @@
+"""Rendering toolkit and the common dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import ImageDataset, stratified_indices
+from repro.datasets.render import (
+    add_gaussian_noise,
+    affine_warp,
+    box_blur,
+    canvas,
+    draw_ellipse,
+    draw_polyline,
+    draw_rect,
+    draw_segment,
+    normalize_to_uint8,
+)
+
+
+class TestPrimitives:
+    def test_canvas(self):
+        img = canvas(8, value=0.5)
+        assert img.shape == (8, 8)
+        assert (img == 0.5).all()
+        with pytest.raises(ValueError):
+            canvas(0)
+
+    def test_segment_stamps_pixels(self):
+        img = canvas(16)
+        draw_segment(img, (0.2, 0.5), (0.8, 0.5), thickness=0.1)
+        assert img.sum() > 0
+        assert img[8, 8] == 1.0       # centre of the stroke
+        assert img[1, 1] == 0.0       # far corner untouched
+
+    def test_degenerate_segment_is_dot(self):
+        img = canvas(16)
+        draw_segment(img, (0.5, 0.5), (0.5, 0.5), thickness=0.2)
+        assert img[8, 8] == 1.0
+
+    def test_polyline_connects(self):
+        img = canvas(16)
+        draw_polyline(img, [(0.2, 0.2), (0.8, 0.2), (0.8, 0.8)], thickness=0.1)
+        assert img[3, 8] > 0   # top edge
+        assert img[8, 12] > 0  # right edge
+
+    def test_ellipse_filled_and_ring(self):
+        filled = canvas(32)
+        draw_ellipse(filled, (0.5, 0.5), (0.3, 0.2))
+        assert filled[16, 16] == 1.0
+        ring = canvas(32)
+        draw_ellipse(ring, (0.5, 0.5), (0.3, 0.3), filled=False, edge=0.05)
+        assert ring[16, 16] == 0.0
+        assert ring.sum() > 0
+
+    def test_ellipse_bad_radii(self):
+        with pytest.raises(ValueError):
+            draw_ellipse(canvas(8), (0.5, 0.5), (0.0, 0.1))
+
+    def test_rect(self):
+        img = canvas(16)
+        draw_rect(img, (0.25, 0.25), (0.75, 0.75))
+        assert img[8, 8] == 1.0
+        assert img[0, 0] == 0.0
+
+    def test_noise_clipped(self):
+        rng = np.random.default_rng(0)
+        img = add_gaussian_noise(canvas(16, 0.5), rng, sigma=2.0)
+        assert img.min() >= 0.0
+        assert img.max() <= 1.0
+
+    def test_blur_preserves_mean_interior(self):
+        img = canvas(16, 0.5)
+        blurred = box_blur(img, radius=2)
+        np.testing.assert_allclose(blurred, img)
+
+    def test_blur_zero_radius_identity(self):
+        img = np.random.default_rng(1).random((8, 8))
+        np.testing.assert_array_equal(box_blur(img, 0), img)
+
+    def test_blur_negative_radius(self):
+        with pytest.raises(ValueError):
+            box_blur(canvas(8), -1)
+
+    def test_affine_warp_bounded(self):
+        rng = np.random.default_rng(2)
+        img = canvas(16)
+        draw_rect(img, (0.4, 0.4), (0.6, 0.6))
+        warped = affine_warp(img, rng)
+        assert warped.shape == img.shape
+        assert warped.min() >= 0.0
+        assert warped.max() <= 1.0 + 1e-9
+
+    def test_normalize_to_uint8(self):
+        img = np.array([[0.0, 0.5], [1.0, 2.0]])
+        out = normalize_to_uint8(img)
+        np.testing.assert_array_equal(out, [[0, 128], [255, 255]])
+        assert out.dtype == np.uint8
+
+
+def make_dataset(n_train=20, n_test=10, rgb=False):
+    shape = (28, 28, 3) if rgb else (28, 28)
+    rng = np.random.default_rng(3)
+    return ImageDataset(
+        name="toy",
+        train_images=rng.integers(0, 256, size=(n_train, *shape), dtype=np.uint8),
+        train_labels=np.arange(n_train) % 2,
+        test_images=rng.integers(0, 256, size=(n_test, *shape), dtype=np.uint8),
+        test_labels=np.arange(n_test) % 2,
+        class_names=("a", "b"),
+    )
+
+
+class TestImageDataset:
+    def test_properties(self):
+        data = make_dataset()
+        assert data.num_classes == 2
+        assert data.image_shape == (28, 28)
+        assert data.num_pixels == 784
+        assert not data.is_rgb
+
+    def test_rgb_grayscale(self):
+        data = make_dataset(rgb=True)
+        assert data.is_rgb
+        gray = data.grayscale()
+        assert not gray.is_rgb
+        assert gray.image_shape == (28, 28)
+        assert gray.train_images.dtype == np.uint8
+
+    def test_grayscale_noop_for_gray(self):
+        data = make_dataset()
+        assert data.grayscale() is data
+
+    def test_luma_weights(self):
+        img = np.zeros((1, 2, 2, 3), dtype=np.uint8)
+        img[..., 1] = 255  # pure green
+        data = ImageDataset("g", img, np.array([0]), img, np.array([0]), ("x",))
+        gray = data.grayscale()
+        assert int(gray.train_images[0, 0, 0]) == 150  # round(0.587 * 255)
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ImageDataset(
+                name="bad",
+                train_images=np.zeros((3, 4, 4), dtype=np.uint8),
+                train_labels=np.zeros(2, dtype=int),
+                test_images=np.zeros((1, 4, 4), dtype=np.uint8),
+                test_labels=np.zeros(1, dtype=int),
+                class_names=("a",),
+            )
+
+    def test_dtype_enforced(self):
+        with pytest.raises(ValueError):
+            ImageDataset(
+                name="bad",
+                train_images=np.zeros((1, 4, 4), dtype=np.float64),
+                train_labels=np.zeros(1, dtype=int),
+                test_images=np.zeros((1, 4, 4), dtype=np.float64),
+                test_labels=np.zeros(1, dtype=int),
+                class_names=("a",),
+            )
+
+    def test_subset_stratified(self):
+        data = make_dataset(n_train=40, n_test=20)
+        sub = data.subset(10, 6, seed=1)
+        assert sub.train_images.shape[0] == 10
+        counts = np.bincount(sub.train_labels)
+        assert (counts == 5).all()
+
+    def test_subset_too_small(self):
+        data = make_dataset()
+        with pytest.raises(ValueError):
+            data.subset(1, 1)
+
+
+class TestStratifiedIndices:
+    def test_balanced(self):
+        labels = np.array([0] * 10 + [1] * 10)
+        rng = np.random.default_rng(0)
+        idx = stratified_indices(labels, 4, rng)
+        assert len(idx) == 8
+        assert (np.bincount(labels[idx]) == 4).all()
+
+    def test_insufficient(self):
+        labels = np.array([0, 0, 1])
+        with pytest.raises(ValueError):
+            stratified_indices(labels, 2, np.random.default_rng(0))

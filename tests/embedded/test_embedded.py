@@ -1,0 +1,113 @@
+"""ARM-class cost model, op traces and memory accounting (Table I)."""
+
+import pytest
+
+from repro.embedded import (
+    ArmCoreModel,
+    BASELINE_CODE_BYTES,
+    UHD_CODE_BYTES,
+    OperationCounts,
+    baseline_image_ops,
+    baseline_memory,
+    baseline_pixel_dim_ops,
+    uhd_image_ops,
+    uhd_memory,
+    uhd_pixel_dim_ops,
+)
+
+
+class TestOperationCounts:
+    def test_addition(self):
+        total = OperationCounts(loads=1, alu=2) + OperationCounts(loads=3, mul=1)
+        assert total.loads == 4
+        assert total.alu == 2
+        assert total.mul == 1
+
+    def test_scaled(self):
+        ops = OperationCounts(loads=2, branches=1).scaled(10)
+        assert ops.loads == 20
+        assert ops.branches == 10
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            OperationCounts(loads=1).scaled(-1)
+
+    def test_total(self):
+        ops = OperationCounts(loads=1, stores=2, alu=3, mul=4, branches=5,
+                              rng_calls=6)
+        assert ops.total_ops == 21
+
+
+class TestArmCoreModel:
+    def test_cycle_accounting(self):
+        core = ArmCoreModel(load_cycles=3, alu_cycles=1)
+        ops = OperationCounts(loads=10, alu=5)
+        assert core.cycles(ops) == pytest.approx(35.0)
+
+    def test_runtime_uses_clock(self):
+        core = ArmCoreModel(clock_hz=1e6)
+        ops = OperationCounts(alu=1_000_000)
+        assert core.runtime_seconds(ops) == pytest.approx(1.0)
+
+    def test_rng_dominates(self):
+        core = ArmCoreModel()
+        with_rng = OperationCounts(rng_calls=1)
+        without = OperationCounts(alu=1)
+        assert core.cycles(with_rng) > 50 * core.cycles(without)
+
+    def test_energy_positive(self):
+        core = ArmCoreModel()
+        assert core.energy_joules(OperationCounts(alu=100)) > 0
+
+
+class TestProfiles:
+    def test_baseline_inner_loop_has_rng_and_mul(self):
+        ops = baseline_pixel_dim_ops()
+        assert ops.rng_calls == 2
+        assert ops.mul == 1
+
+    def test_uhd_inner_loop_has_neither(self):
+        ops = uhd_pixel_dim_ops()
+        assert ops.rng_calls == 0
+        assert ops.mul == 0
+
+    def test_image_ops_scale_with_pixels_and_dim(self):
+        small = uhd_image_ops(10, 100)
+        large = uhd_image_ops(20, 100)
+        assert large.total_ops > small.total_ops
+
+    def test_speedup_matches_paper_band(self):
+        # Paper: 43.8x at D=1K; the model must land in the tens.
+        core = ArmCoreModel()
+        speedup = (core.runtime_seconds(baseline_image_ops(784, 1024))
+                   / core.runtime_seconds(uhd_image_ops(784, 1024)))
+        assert 10 < speedup < 100
+
+    def test_code_sizes(self):
+        assert sum(BASELINE_CODE_BYTES.values()) > sum(UHD_CODE_BYTES.values())
+
+
+class TestMemory:
+    def test_uhd_much_smaller(self):
+        base = baseline_memory(784, 1024).total_kb
+        ours = uhd_memory(784, 1024).total_kb
+        assert base / ours > 5  # paper: 10.4x at 1K
+
+    def test_ratio_grows_with_dim(self):
+        ratio_1k = (baseline_memory(784, 1024).total_kb
+                    / uhd_memory(784, 1024).total_kb)
+        ratio_8k = (baseline_memory(784, 8192).total_kb
+                    / uhd_memory(784, 8192).total_kb)
+        assert ratio_8k >= ratio_1k * 0.9
+
+    def test_position_hypervectors_dominate_baseline(self):
+        parts = baseline_memory(784, 1024).parts
+        assert parts["position_hypervectors"] == max(parts.values())
+
+    def test_uhd_has_no_position_store(self):
+        assert "position_hypervectors" not in uhd_memory(784, 1024).parts
+
+    def test_total_bytes_consistent(self):
+        footprint = uhd_memory(100, 256)
+        assert footprint.total_bytes == sum(footprint.parts.values())
+        assert footprint.total_kb == pytest.approx(footprint.total_bytes / 1024)

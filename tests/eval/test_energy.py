@@ -1,0 +1,62 @@
+"""Unit tests for the per-operation energy compositions (Tables II/III)."""
+
+import pytest
+
+from repro.eval import energy
+
+
+class TestPerOpEnergies:
+    def test_unary_compare_positive(self):
+        assert energy.unary_compare_energy_fj(16) > 0.0
+
+    def test_ust_fetch_positive(self):
+        assert energy.ust_fetch_energy_fj(16) > 0.0
+
+    def test_fetch_cheaper_than_counter_generation(self):
+        per_bit_fetch = energy.ust_fetch_energy_fj(16) / 16
+        per_bit_counter = energy.counter_generator_energy_per_bit_fj(4)
+        assert per_bit_counter > 10 * per_bit_fetch
+
+    def test_lfsr_generation_grows_with_compare_width(self):
+        narrow = energy.lfsr_generate_energy_fj(6)
+        wide = energy.lfsr_generate_energy_fj(13)
+        assert wide > narrow
+
+    def test_bind_is_cheap(self):
+        assert 0.0 < energy.bind_energy_fj() < energy.unary_compare_energy_fj(16)
+
+    def test_binarizer_masking_cheaper(self):
+        masking = energy.binarizer_energy_per_feature_fj(256, "masking")
+        comparator = energy.binarizer_energy_per_feature_fj(256, "comparator")
+        assert masking < comparator
+
+    def test_binarizer_bad_design(self):
+        with pytest.raises(ValueError):
+            energy.binarizer_energy_per_feature_fj(64, "magic")
+
+
+class TestCompositions:
+    def test_hv_energy_linear_in_dim(self):
+        e1 = energy.uhd_hv_energy_fj(1024)
+        e2 = energy.uhd_hv_energy_fj(2048)
+        assert e2 / e1 == pytest.approx(2.0, rel=0.01)
+
+    def test_baseline_superlinear_in_dim(self):
+        # Comparator width grows with log2(D), so the ratio exceeds 8.
+        e1 = energy.baseline_hv_energy_fj(1024)
+        e8 = energy.baseline_hv_energy_fj(8192)
+        assert e8 / e1 > 8.0
+
+    def test_uhd_image_includes_binarizers(self):
+        hv_only = 784 * energy.uhd_hv_energy_fj(512)
+        with_binarize = energy.uhd_image_energy_fj(512, 784)
+        assert with_binarize > hv_only
+
+    def test_uhd_beats_baseline_everywhere(self):
+        for dim in (512, 1024, 4096):
+            assert (energy.uhd_image_energy_fj(dim)
+                    < energy.baseline_image_energy_fj(dim))
+
+    def test_caching_returns_identical(self):
+        assert (energy.unary_compare_energy_fj(16)
+                == energy.unary_compare_energy_fj(16))

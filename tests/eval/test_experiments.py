@@ -1,0 +1,120 @@
+"""Per-table experiment runners (fast configurations)."""
+
+import pytest
+
+from repro.eval import experiments as ex
+
+
+class TestTable1:
+    def test_rows_and_speedup(self):
+        rows = ex.table1_embedded(dims=(1024,))
+        assert len(rows) == 2
+        base = next(r for r in rows if r.design == "baseline")
+        uhd = next(r for r in rows if r.design == "uhd")
+        assert base.runtime_s > uhd.runtime_s * 10
+        assert base.dynamic_memory_kb > uhd.dynamic_memory_kb * 5
+        assert base.code_memory_kb > uhd.code_memory_kb
+
+    def test_paper_values_attached(self):
+        rows = ex.table1_embedded(dims=(1024, 8192))
+        assert all(r.paper_runtime_s is not None for r in rows)
+
+
+class TestTable2:
+    def test_uhd_wins_energy_and_area_delay(self):
+        rows = ex.table2_energy_area(dims=(1024,))
+        base = next(r for r in rows if r.design == "baseline")
+        uhd = next(r for r in rows if r.design == "uhd")
+        assert uhd.energy_per_hv_pj < base.energy_per_hv_pj
+        assert uhd.energy_per_image_pj < base.energy_per_image_pj
+        assert uhd.area_delay_m2s < base.area_delay_m2s
+
+    def test_energy_scales_with_dim(self):
+        rows = ex.table2_energy_area(dims=(1024, 2048))
+        uhd = [r for r in rows if r.design == "uhd"]
+        assert uhd[1].energy_per_hv_pj > uhd[0].energy_per_hv_pj * 1.8
+
+
+class TestTable3:
+    def test_our_row_ranks_first(self):
+        rows = ex.table3_sota()
+        measured = next(r for r in rows if "measured" in r.framework)
+        others = [r for r in rows if not r.is_this_work]
+        assert all(measured.energy_efficiency > r.energy_efficiency
+                   for r in others)
+
+    def test_sorted_descending(self):
+        rows = ex.table3_sota()
+        values = [r.energy_efficiency for r in rows]
+        assert values == sorted(values, reverse=True)
+
+
+class TestCheckpoints:
+    def test_all_ratios_favor_uhd(self):
+        for result in (ex.checkpoint1_generation(),
+                       ex.checkpoint2_comparator(),
+                       ex.checkpoint3_binarize()):
+            assert result.measured_ratio > 1.0, result.name
+            assert result.paper_ratio > 1.0
+
+    def test_checkpoint1_order_of_magnitude(self):
+        result = ex.checkpoint1_generation()
+        assert result.measured_ratio > 10.0
+
+
+@pytest.fixture(autouse=True)
+def _reduced_scale(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+
+
+class TestAccuracyTables:
+    def test_table4_small(self, monkeypatch):
+        import repro.eval.accuracy as accuracy_mod
+        from repro.eval.accuracy import RunScale
+
+        monkeypatch.setattr(accuracy_mod, "run_scale",
+                            lambda: RunScale(150, 80, 3))
+        monkeypatch.setattr(ex, "run_scale", lambda: RunScale(150, 80, 3))
+        rows = ex.table4_mnist_accuracy(dims=(256,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.uhd > 20.0  # far above 10% chance
+        assert 1 in row.baseline_by_checkpoint
+
+    def test_table5_small(self, monkeypatch):
+        import repro.eval.accuracy as accuracy_mod
+        from repro.eval.accuracy import RunScale
+
+        monkeypatch.setattr(accuracy_mod, "run_scale",
+                            lambda: RunScale(60, 30, 2))
+        monkeypatch.setattr(ex, "run_scale", lambda: RunScale(60, 30, 2))
+        rows = ex.table5_datasets(dims=(128,), datasets=("breast",))
+        assert len(rows) == 1
+        assert rows[0].dataset == "breast"
+        assert rows[0].uhd > 30.0  # 2-class chance is 50, tiny data is noisy
+
+    def test_fig6a_series(self, monkeypatch):
+        import repro.eval.accuracy as accuracy_mod
+        from repro.eval.accuracy import RunScale
+
+        monkeypatch.setattr(accuracy_mod, "run_scale",
+                            lambda: RunScale(120, 60, 4))
+        monkeypatch.setattr(ex, "run_scale", lambda: RunScale(120, 60, 4))
+        series = ex.fig6a_iteration_series(dim=128)
+        assert len(series) == 4
+        assert all(0.0 <= a <= 100.0 for a in series)
+
+    def test_fig6c_series(self, monkeypatch):
+        import repro.eval.accuracy as accuracy_mod
+        from repro.eval.accuracy import RunScale
+
+        monkeypatch.setattr(accuracy_mod, "run_scale",
+                            lambda: RunScale(120, 60, 2))
+        monkeypatch.setattr(ex, "run_scale", lambda: RunScale(120, 60, 2))
+        result = ex.fig6c_uhd_series(dims=(128, 256))
+        assert set(result) == {128, 256}
+
+    def test_fig6b_prior_art(self):
+        points = ex.fig6b_prior_art()
+        assert len(points) == 4
+        assert all(0 < p.accuracy_percent < 100 for p in points)

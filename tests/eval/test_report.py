@@ -1,0 +1,27 @@
+"""EXPERIMENTS report assembly."""
+
+from repro.eval.report import RESULT_SECTIONS, build_experiments_markdown
+
+
+class TestReport:
+    def test_missing_results_flagged(self, tmp_path):
+        text = build_experiments_markdown(tmp_path)
+        assert text.count("*not yet generated*") == len(RESULT_SECTIONS)
+
+    def test_present_results_embedded(self, tmp_path):
+        (tmp_path / "table1_embedded.txt").write_text("RESULT CONTENT 42")
+        text = build_experiments_markdown(tmp_path)
+        assert "RESULT CONTENT 42" in text
+        assert text.count("*not yet generated*") == len(RESULT_SECTIONS) - 1
+
+    def test_section_order(self, tmp_path):
+        text = build_experiments_markdown(tmp_path)
+        positions = [text.index(heading) for _, heading in RESULT_SECTIONS]
+        assert positions == sorted(positions)
+
+    def test_cli_report_command(self, capsys, tmp_path, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["report"]) == 0
+        assert "Measured results" in capsys.readouterr().out

@@ -1,0 +1,224 @@
+"""Parametric component builders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.lfsr import LFSR, MAXIMAL_TAPS
+from repro.hardware import Netlist, Simulator
+from repro.hardware.components import (
+    and_tree,
+    binary_comparator_ge,
+    build_lfsr,
+    constant_bus,
+    equality_comparator,
+    incrementer,
+    match_constant_mask,
+    or_tree,
+    register_bus,
+    sticky_latch,
+    sync_counter,
+)
+
+
+def read_bus(sim: Simulator, bus: list[int]) -> int:
+    return sum(sim.value(net) << i for i, net in enumerate(bus))
+
+
+class TestTrees:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 11])
+    def test_and_tree(self, n):
+        nl = Netlist()
+        nets = [nl.add_input(f"i{k}") for k in range(n)]
+        nl.add_output("y", and_tree(nl, nets))
+        sim = Simulator(nl)
+        assert sim.evaluate({f"i{k}": 1 for k in range(n)})["y"] == 1
+        if n > 1:
+            values = {f"i{k}": 1 for k in range(n)}
+            values["i0"] = 0
+            assert sim.evaluate(values)["y"] == 0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7])
+    def test_or_tree(self, n):
+        nl = Netlist()
+        nets = [nl.add_input(f"i{k}") for k in range(n)]
+        nl.add_output("y", or_tree(nl, nets))
+        sim = Simulator(nl)
+        assert sim.evaluate({f"i{k}": 0 for k in range(n)})["y"] == 0
+        values = {f"i{k}": 0 for k in range(n)}
+        values[f"i{n - 1}"] = 1
+        assert sim.evaluate(values)["y"] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            and_tree(Netlist(), [])
+
+
+class TestConstantBus:
+    def test_value(self):
+        nl = Netlist()
+        bus = constant_bus(nl, 0b1010, 4)
+        for i, net in enumerate(bus):
+            nl.add_output(f"b{i}", net)
+        sim = Simulator(nl)
+        sim.evaluate()
+        assert read_bus(sim, bus) == 0b1010
+
+    def test_too_wide(self):
+        with pytest.raises(ValueError):
+            constant_bus(Netlist(), 16, 4)
+
+
+class TestIncrementer:
+    @pytest.mark.parametrize("value", [0, 1, 5, 14, 15])
+    def test_plus_one_mod_16(self, value):
+        nl = Netlist()
+        bus = [nl.add_input(f"a{i}") for i in range(4)]
+        out = incrementer(nl, bus)
+        for i, net in enumerate(out):
+            nl.add_output(f"y{i}", net)
+        sim = Simulator(nl)
+        sim.evaluate({f"a{i}": (value >> i) & 1 for i in range(4)})
+        assert read_bus(sim, out) == (value + 1) % 16
+
+
+class TestSyncCounter:
+    def test_counts_every_cycle(self):
+        nl = Netlist()
+        bus = sync_counter(nl, 4)
+        for i, net in enumerate(bus):
+            nl.add_output(f"q{i}", net)
+        sim = Simulator(nl)
+        seen = []
+        for _ in range(20):
+            sim.step()
+            seen.append(read_bus(sim, bus))
+        assert seen == [(k + 1) % 16 for k in range(20)]  # wraps at 2^4
+
+    def test_enable_gates_counting(self):
+        nl = Netlist()
+        enable = nl.add_input("en")
+        bus = sync_counter(nl, 4, enable=enable)
+        for i, net in enumerate(bus):
+            nl.add_output(f"q{i}", net)
+        sim = Simulator(nl)
+        pattern = [1, 0, 1, 1, 0, 0, 1]
+        for bit in pattern:
+            sim.step({"en": bit})
+        assert read_bus(sim, bus) == sum(pattern)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            sync_counter(Netlist(), 0)
+
+
+class TestComparators:
+    @pytest.mark.parametrize("width", [1, 2, 4])
+    def test_ge_exhaustive(self, width):
+        nl = Netlist()
+        a = [nl.add_input(f"a{i}") for i in range(width)]
+        b = [nl.add_input(f"b{i}") for i in range(width)]
+        nl.add_output("ge", binary_comparator_ge(nl, a, b))
+        sim = Simulator(nl)
+        for x in range(1 << width):
+            for y in range(1 << width):
+                vec = {f"a{i}": (x >> i) & 1 for i in range(width)}
+                vec.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+                assert sim.evaluate(vec)["ge"] == (1 if x >= y else 0), (x, y)
+
+    def test_equality_exhaustive(self):
+        width = 3
+        nl = Netlist()
+        a = [nl.add_input(f"a{i}") for i in range(width)]
+        b = [nl.add_input(f"b{i}") for i in range(width)]
+        nl.add_output("eq", equality_comparator(nl, a, b))
+        sim = Simulator(nl)
+        for x in range(8):
+            for y in range(8):
+                vec = {f"a{i}": (x >> i) & 1 for i in range(width)}
+                vec.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+                assert sim.evaluate(vec)["eq"] == (1 if x == y else 0)
+
+    def test_width_mismatch(self):
+        nl = Netlist()
+        a = [nl.add_input("a0")]
+        b = [nl.add_input("b0"), nl.add_input("b1")]
+        with pytest.raises(ValueError):
+            binary_comparator_ge(nl, a, b)
+        with pytest.raises(ValueError):
+            equality_comparator(nl, a, b)
+
+
+class TestMaskingLogic:
+    def test_fires_first_at_threshold(self):
+        # Counting up, the masked AND fires exactly when the counter first
+        # reaches the threshold.
+        threshold = 6  # 0b110
+        nl = Netlist()
+        bus = sync_counter(nl, 4)
+        fire = match_constant_mask(nl, bus, threshold)
+        nl.add_output("fire", fire)
+        sim = Simulator(nl)
+        fired_at = []
+        for cycle in range(1, 16):
+            out = sim.step()
+            if out["fire"]:
+                fired_at.append(read_bus(sim, bus))
+        assert fired_at[0] == threshold
+
+    def test_single_bit_threshold(self):
+        nl = Netlist()
+        bus = sync_counter(nl, 3)
+        nl.add_output("fire", match_constant_mask(nl, bus, 4))
+        sim = Simulator(nl)
+        values = [(sim.step()["fire"], read_bus(sim, bus)) for _ in range(7)]
+        for fire, count in values:
+            assert fire == (1 if count >= 4 else 0)
+
+    def test_bad_threshold(self):
+        nl = Netlist()
+        bus = sync_counter(nl, 3)
+        with pytest.raises(ValueError):
+            match_constant_mask(nl, bus, 0)
+        with pytest.raises(ValueError):
+            match_constant_mask(nl, bus, 8)
+
+
+class TestStickyLatch:
+    def test_latches_first_one(self):
+        nl = Netlist()
+        signal = nl.add_input("s")
+        nl.add_output("q", sticky_latch(nl, signal))
+        sim = Simulator(nl)
+        outs = [sim.step({"s": bit})["q"] for bit in (0, 0, 1, 0, 0)]
+        assert outs == [0, 0, 1, 1, 1]
+
+
+class TestLfsrNetlist:
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_matches_software_model(self, width):
+        nl = Netlist()
+        state = build_lfsr(nl, width, MAXIMAL_TAPS[width])
+        for i, net in enumerate(state):
+            nl.add_output(f"s{i}", net)
+        sim = Simulator(nl)
+        software = LFSR(width)  # all-ones seed matches flop init=1
+        for _ in range(50):
+            sim.step()
+            software.next_state()
+            assert read_bus(sim, state) == software.state
+
+    def test_bad_taps(self):
+        with pytest.raises(ValueError):
+            build_lfsr(Netlist(), 4, (5,))
+
+
+class TestRegisterBus:
+    def test_delays_by_one_cycle(self):
+        nl = Netlist()
+        d = [nl.add_input("d0"), nl.add_input("d1")]
+        q = register_bus(nl, d)
+        for i, net in enumerate(q):
+            nl.add_output(f"q{i}", net)
+        sim = Simulator(nl)
+        sim.step({"d0": 1, "d1": 0})
+        assert (sim.value(q[0]), sim.value(q[1])) == (1, 0)

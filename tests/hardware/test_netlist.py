@@ -1,0 +1,128 @@
+"""Netlist construction and validation."""
+
+import pytest
+
+from repro.hardware import Netlist
+
+
+class TestConstruction:
+    def test_inputs_and_gates(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        out = nl.add_gate("AND2", a, b)
+        nl.add_output("y", out)
+        assert nl.stats().startswith("netlist: 1 gates")
+
+    def test_duplicate_input_name(self):
+        nl = Netlist()
+        nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_input("a")
+
+    def test_duplicate_output_name(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_output("y", a)
+        with pytest.raises(ValueError):
+            nl.add_output("y", a)
+
+    def test_wrong_pin_count(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_gate("AND2", a)
+
+    def test_unknown_cell(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(KeyError):
+            nl.add_gate("NAND7", a)
+
+    def test_undriven_net_rejected(self):
+        nl = Netlist()
+        dangling = nl.new_net()
+        with pytest.raises(ValueError, match="driver"):
+            nl.add_gate("INV", dangling)
+
+    def test_nonexistent_net_rejected(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.add_gate("INV", 42)
+
+    def test_dff_via_add_gate_rejected(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_gate("DFF", a)
+
+    def test_const(self):
+        nl = Netlist()
+        one = nl.add_const(1)
+        nl.add_output("y", one)
+        with pytest.raises(ValueError):
+            nl.add_const(2)
+
+
+class TestFlops:
+    def test_add_flop(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        q = nl.add_flop(a)
+        nl.add_output("q", q)
+        assert len(nl.flops) == 1
+
+    def test_placeholder_connect(self):
+        nl = Netlist()
+        q = nl.add_flop_placeholder()
+        inverted = nl.add_gate("INV", q)
+        nl.connect_flop(q, inverted)
+        assert nl.levelize()  # no error: feedback cut by the flop
+
+    def test_unconnected_placeholder_rejected_at_levelize(self):
+        nl = Netlist()
+        nl.add_flop_placeholder()
+        with pytest.raises(ValueError, match="unconnected"):
+            nl.levelize()
+
+    def test_double_connect_rejected(self):
+        nl = Netlist()
+        q = nl.add_flop_placeholder()
+        inv = nl.add_gate("INV", q)
+        nl.connect_flop(q, inv)
+        with pytest.raises(ValueError):
+            nl.connect_flop(q, inv)
+
+    def test_connect_unknown_q(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.connect_flop(a, a)
+
+    def test_bad_init(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        with pytest.raises(ValueError):
+            nl.add_flop(a, init=2)
+
+
+class TestLevelize:
+    def test_orders_dependencies(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", a)
+        y = nl.add_gate("INV", x)
+        order = nl.levelize()
+        assert order[0].output == x
+        assert order[1].output == y
+
+    def test_cell_counts(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_gate("AND2", a, b)
+        nl.add_gate("AND2", a, b)
+        nl.add_flop(a)
+        counts = nl.cell_counts()
+        assert counts["AND2"] == 2
+        assert counts["DFF"] == 1

@@ -1,0 +1,174 @@
+"""Energy accounting, area sums, critical path, synthesis reports."""
+
+import pytest
+
+from repro.hardware import (
+    LIBRARY,
+    Netlist,
+    Simulator,
+    area_by_kind,
+    area_um2,
+    arrival_times_ps,
+    cell,
+    characterize,
+    critical_path_ps,
+    dynamic_energy_fj,
+    rom_area_um2,
+)
+from repro.hardware.cells import DFF_CLOCK_ENERGY_FJ
+
+
+def inverter_netlist() -> Netlist:
+    nl = Netlist(name="inv")
+    a = nl.add_input("a")
+    nl.add_output("y", nl.add_gate("INV", a))
+    return nl
+
+
+class TestCellLibrary:
+    def test_lookup(self):
+        assert cell("AND2").inputs == 2
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            cell("AND9")
+
+    def test_sane_ranges(self):
+        for spec in LIBRARY.values():
+            assert spec.area_um2 >= 0.0
+            assert spec.delay_ps >= 0.0
+            assert spec.energy_fj >= 0.0
+
+    def test_complex_cells_cost_more(self):
+        assert cell("XOR2").energy_fj > cell("NAND2").energy_fj
+        assert cell("DFF").area_um2 > cell("INV").area_um2
+
+
+class TestEnergy:
+    def test_manual_toggle_accounting(self):
+        nl = inverter_netlist()
+        sim = Simulator(nl)
+        sim.evaluate({"a": 0})  # out 0->1
+        sim.evaluate({"a": 1})  # out 1->0
+        breakdown = dynamic_energy_fj(sim)
+        assert breakdown.combinational_fj == pytest.approx(2 * cell("INV").energy_fj)
+        assert breakdown.total_fj == breakdown.combinational_fj
+
+    def test_flop_clock_energy_charged_per_cycle(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.add_output("q", nl.add_flop(d))
+        sim = Simulator(nl)
+        for _ in range(5):
+            sim.step({"d": 0})
+        breakdown = dynamic_energy_fj(sim)
+        assert breakdown.flop_clock_fj == pytest.approx(5 * DFF_CLOCK_ENERGY_FJ)
+        assert breakdown.flop_data_fj == 0.0
+
+    def test_flop_data_energy(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.add_output("q", nl.add_flop(d))
+        sim = Simulator(nl)
+        for bit in (1, 0, 1):
+            sim.step({"d": bit})
+        assert dynamic_energy_fj(sim).flop_data_fj == pytest.approx(
+            3 * cell("DFF").energy_fj
+        )
+
+    def test_memory_charge(self):
+        sim = Simulator(inverter_netlist())
+        breakdown = dynamic_energy_fj(sim)
+        breakdown.add_memory_access(12.5)
+        assert breakdown.memory_fj == 12.5
+        assert breakdown.by_kind["MEM"] == 12.5
+        with pytest.raises(ValueError):
+            breakdown.add_memory_access(-1.0)
+
+    def test_total_pj_unit(self):
+        sim = Simulator(inverter_netlist())
+        sim.evaluate({"a": 0})
+        breakdown = dynamic_energy_fj(sim)
+        assert breakdown.total_pj == pytest.approx(breakdown.total_fj / 1000.0)
+
+
+class TestArea:
+    def test_sum_of_cells(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_gate("AND2", a, b)
+        nl.add_flop(a)
+        expected = cell("AND2").area_um2 + cell("DFF").area_um2
+        assert area_um2(nl) == pytest.approx(expected)
+
+    def test_by_kind(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_gate("INV", a)
+        nl.add_gate("INV", a)
+        assert area_by_kind(nl)["INV"] == pytest.approx(2 * cell("INV").area_um2)
+
+    def test_rom_macro(self):
+        assert rom_area_um2(0) == 0.0
+        assert rom_area_um2(256) > 0.0
+        with pytest.raises(ValueError):
+            rom_area_um2(-1)
+
+    def test_memory_bits_included(self):
+        nl = inverter_netlist()
+        assert area_um2(nl, memory_bits=256) == pytest.approx(
+            area_um2(nl) + rom_area_um2(256)
+        )
+
+
+class TestTiming:
+    def test_chain_adds_delays(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        x = nl.add_gate("INV", a)
+        y = nl.add_gate("INV", x)
+        nl.add_output("y", y)
+        assert critical_path_ps(nl) == pytest.approx(2 * cell("INV").delay_ps)
+
+    def test_parallel_takes_max(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        slow = nl.add_gate("XOR2", a, nl.add_gate("INV", a))
+        nl.add_output("y", slow)
+        expected = cell("INV").delay_ps + cell("XOR2").delay_ps
+        assert critical_path_ps(nl) == pytest.approx(expected)
+
+    def test_flop_launch_includes_clk_to_q(self):
+        nl = Netlist()
+        q = nl.add_flop(nl.add_input("d"))
+        out = nl.add_gate("INV", q)
+        nl.add_output("y", out)
+        expected = cell("DFF").delay_ps + cell("INV").delay_ps
+        assert arrival_times_ps(nl)[out] == pytest.approx(expected)
+
+    def test_empty_netlist(self):
+        assert critical_path_ps(Netlist()) == 0.0
+
+
+class TestCharacterize:
+    def test_report_fields(self):
+        report = characterize(inverter_netlist(),
+                              [{"a": 0}, {"a": 1}, {"a": 0}])
+        assert report.cycles == 3
+        assert report.area_um2 > 0
+        assert report.energy.total_fj > 0
+        assert "INV" in report.render()
+
+    def test_extra_memory_charged(self):
+        plain = characterize(inverter_netlist(), [{"a": 1}])
+        charged = characterize(inverter_netlist(), [{"a": 1}],
+                               extra_memory_fj=100.0)
+        assert charged.energy.total_fj == pytest.approx(
+            plain.energy.total_fj + 100.0
+        )
+
+    def test_area_delay_product(self):
+        report = characterize(inverter_netlist(), [{"a": 1}])
+        expected = report.area_um2 * report.critical_path_ps * 1e-12
+        assert report.area_delay_um2_s == pytest.approx(expected)

@@ -1,0 +1,156 @@
+"""Cycle simulator: truth tables, sequential behaviour, activity capture."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import Netlist, Simulator
+from repro.hardware.simulator import TruthTableError, evaluate_gate
+from repro.hardware.netlist import Gate
+
+_TRUTH = {
+    "INV": lambda v: 1 - v[0],
+    "BUF": lambda v: v[0],
+    "AND2": lambda v: v[0] & v[1],
+    "OR2": lambda v: v[0] | v[1],
+    "NAND2": lambda v: 1 - (v[0] & v[1]),
+    "NOR2": lambda v: 1 - (v[0] | v[1]),
+    "XOR2": lambda v: v[0] ^ v[1],
+    "XNOR2": lambda v: 1 - (v[0] ^ v[1]),
+    "AND3": lambda v: v[0] & v[1] & v[2],
+    "OR3": lambda v: v[0] | v[1] | v[2],
+    "AND4": lambda v: v[0] & v[1] & v[2] & v[3],
+    "OR4": lambda v: v[0] | v[1] | v[2] | v[3],
+    "MUX2": lambda v: v[1] if v[2] else v[0],
+}
+
+_ARITY = {"INV": 1, "BUF": 1, "AND2": 2, "OR2": 2, "NAND2": 2, "NOR2": 2,
+          "XOR2": 2, "XNOR2": 2, "AND3": 3, "OR3": 3, "AND4": 4, "OR4": 4,
+          "MUX2": 3}
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("kind", sorted(_TRUTH))
+    def test_exhaustive(self, kind):
+        arity = _ARITY[kind]
+        nl = Netlist()
+        nets = [nl.add_input(f"i{k}") for k in range(arity)]
+        out = nl.add_gate(kind, *nets)
+        nl.add_output("y", out)
+        sim = Simulator(nl)
+        for bits in itertools.product((0, 1), repeat=arity):
+            result = sim.evaluate({f"i{k}": b for k, b in enumerate(bits)})
+            assert result["y"] == _TRUTH[kind](bits), (kind, bits)
+
+    def test_consts(self):
+        nl = Netlist()
+        nl.add_output("zero", nl.add_const(0))
+        nl.add_output("one", nl.add_const(1))
+        outs = Simulator(nl).evaluate()
+        assert outs == {"zero": 0, "one": 1}
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(TruthTableError):
+            evaluate_gate(Gate("FOO", (), 0), [0])
+
+
+class TestSequential:
+    def test_shift_register(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        q1 = nl.add_flop(d)
+        q2 = nl.add_flop(q1)
+        nl.add_output("q2", q2)
+        sim = Simulator(nl)
+        seen = [sim.step({"d": bit})["q2"] for bit in (1, 0, 1, 1, 0)]
+        # Reading right after edge k shows the input applied at edge k-1
+        # (two flops = two-edge latency input-to-q2).
+        assert seen == [0, 1, 0, 1, 1]
+
+    def test_two_phase_update(self):
+        # A swap circuit: two flops exchanging values each cycle must not
+        # race; both D pins sample the pre-edge values.
+        nl = Netlist()
+        qa = nl.add_flop_placeholder(init=1)
+        qb = nl.add_flop_placeholder(init=0)
+        nl.connect_flop(qa, nl.add_gate("BUF", qb))
+        nl.connect_flop(qb, nl.add_gate("BUF", qa))
+        nl.add_output("a", qa)
+        nl.add_output("b", qb)
+        sim = Simulator(nl)
+        assert sim.step() == {"a": 0, "b": 1}
+        assert sim.step() == {"a": 1, "b": 0}
+
+    def test_flop_init(self):
+        nl = Netlist()
+        q = nl.add_flop(nl.add_const(0), init=1)
+        nl.add_output("q", q)
+        sim = Simulator(nl)
+        assert sim.value(q) == 1
+        sim.step()
+        assert sim.value(q) == 0
+
+
+class TestActivity:
+    def test_toggle_counting(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        out = nl.add_gate("INV", a)
+        nl.add_output("y", out)
+        sim = Simulator(nl)
+        sim.evaluate({"a": 0})   # INV output goes 0 -> 1: one toggle
+        sim.evaluate({"a": 1})   # 1 -> 0: second toggle
+        sim.evaluate({"a": 1})   # stable: no toggle
+        assert sim.total_gate_toggles() == 2
+
+    def test_flop_toggles(self):
+        nl = Netlist()
+        d = nl.add_input("d")
+        nl.add_output("q", nl.add_flop(d))
+        sim = Simulator(nl)
+        for bit in (1, 0, 0, 1):
+            sim.step({"d": bit})
+        assert sim.total_flop_toggles() == 3  # 0->1, 1->0, stay, 0->1
+
+    def test_reset_clears_counters(self):
+        nl = Netlist()
+        a = nl.add_input("a")
+        nl.add_output("y", nl.add_gate("INV", a))
+        sim = Simulator(nl)
+        sim.step({"a": 0})
+        sim.reset()
+        assert sim.total_gate_toggles() == 0
+        assert sim.cycles == 0
+
+
+class TestInputHandling:
+    def test_unknown_input_name(self):
+        nl = Netlist()
+        nl.add_input("a")
+        sim = Simulator(nl)
+        with pytest.raises(KeyError):
+            sim.step({"bogus": 1})
+
+    def test_non_binary_value(self):
+        nl = Netlist()
+        nl.add_input("a")
+        sim = Simulator(nl)
+        with pytest.raises(ValueError):
+            sim.step({"a": 2})
+
+    @given(bits=st.lists(st.integers(0, 1), min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_run_equals_steps(self, bits):
+        def build():
+            nl = Netlist()
+            d = nl.add_input("d")
+            nl.add_output("q", nl.add_flop(nl.add_gate("INV", d)))
+            return nl
+
+        run_sim = Simulator(build())
+        outs_run = run_sim.run([{"d": b} for b in bits])
+        step_sim = Simulator(build())
+        outs_step = [step_sim.step({"d": b}) for b in bits]
+        assert outs_run == outs_step

@@ -1,0 +1,170 @@
+"""Verilog emission and VCD waveform export."""
+
+import pytest
+
+from repro.hardware import Netlist, Simulator, VcdRecorder, to_verilog
+from repro.hardware.circuits import build_masking_binarizer, build_unary_comparator
+
+
+class TestVerilog:
+    def test_combinational_module(self):
+        nl = Netlist(name="demo")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        nl.add_output("y", nl.add_gate("AND2", a, b))
+        text = to_verilog(nl)
+        assert text.startswith("module demo (")
+        assert "input a;" in text
+        assert "output y;" in text
+        assert "and g0" in text
+        assert text.rstrip().endswith("endmodule")
+        assert "clk" not in text  # purely combinational
+
+    def test_sequential_module_has_clock_and_init(self):
+        nl = Netlist(name="seq")
+        d = nl.add_input("d")
+        q = nl.add_flop(d, init=1)
+        nl.add_output("q", q)
+        text = to_verilog(nl)
+        assert "input clk;" in text
+        assert "always @(posedge clk)" in text
+        assert "initial n1 = 1'b1;" in text
+
+    def test_mux_and_const_as_assigns(self):
+        nl = Netlist(name="muxy")
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        s = nl.add_input("s")
+        one = nl.add_const(1)
+        mux = nl.add_gate("MUX2", a, b, s)
+        nl.add_output("y", nl.add_gate("AND2", mux, one))
+        text = to_verilog(nl)
+        assert "? b : a;" in text
+        assert "= 1'b1;" in text
+
+    def test_module_name_override(self):
+        nl = Netlist(name="has-dash")
+        a = nl.add_input("a")
+        nl.add_output("y", nl.add_gate("BUF", a))
+        assert "module custom (" in to_verilog(nl, module_name="custom")
+        assert "module has_dash (" in to_verilog(nl)
+
+    def test_paper_circuits_emit(self):
+        for netlist in (build_unary_comparator(8), build_masking_binarizer(16)):
+            text = to_verilog(netlist)
+            assert "endmodule" in text
+            # every primary output appears
+            for name in netlist.outputs:
+                assert name in text
+
+
+class TestVcd:
+    def _counter(self):
+        from repro.hardware.components import sync_counter
+
+        nl = Netlist(name="cnt")
+        bus = sync_counter(nl, 2)
+        nl.add_output("q0", bus[0])
+        nl.add_output("q1", bus[1])
+        return nl
+
+    def test_records_cycles(self):
+        recorder = VcdRecorder(Simulator(self._counter()))
+        recorder.run([{}] * 4)
+        assert recorder.cycles_recorded == 4
+
+    def test_render_structure(self):
+        recorder = VcdRecorder(Simulator(self._counter()))
+        recorder.run([{}] * 3)
+        text = recorder.render()
+        assert "$timescale 1ns $end" in text
+        assert "$var wire 1" in text
+        assert "$enddefinitions $end" in text
+        assert "#0" in text
+
+    def test_only_changes_emitted(self):
+        nl = Netlist(name="hold")
+        d = nl.add_input("d")
+        nl.add_output("q", nl.add_flop(d))
+        recorder = VcdRecorder(Simulator(nl))
+        recorder.run([{"d": 0}] * 5)  # q never changes after cycle 0
+        text = recorder.render()
+        # exactly one timestamp with changes (the initial dump) plus final marker
+        change_lines = [line for line in text.splitlines()
+                        if line.startswith("#")]
+        assert len(change_lines) == 2
+
+    def test_write_file(self, tmp_path):
+        recorder = VcdRecorder(Simulator(self._counter()))
+        recorder.run([{}] * 2)
+        path = recorder.write(tmp_path / "trace.vcd")
+        assert path.read_text().startswith("$date")
+
+    def test_empty_render_rejected(self):
+        recorder = VcdRecorder(Simulator(self._counter()))
+        with pytest.raises(ValueError):
+            recorder.render()
+
+    def test_no_signals_rejected(self):
+        nl = Netlist(name="empty")
+        with pytest.raises(ValueError):
+            VcdRecorder(Simulator(nl), signals={})
+
+    def test_custom_signals(self):
+        nl = self._counter()
+        sim = Simulator(nl)
+        recorder = VcdRecorder(sim, signals={"bit0": nl.outputs["q0"]})
+        recorder.run([{}] * 2)
+        assert "bit0" in recorder.render()
+
+
+class TestAdders:
+    def test_ripple_adder_exhaustive(self):
+        from repro.hardware.components import ripple_adder
+
+        width = 3
+        nl = Netlist()
+        a = [nl.add_input(f"a{i}") for i in range(width)]
+        b = [nl.add_input(f"b{i}") for i in range(width)]
+        out = ripple_adder(nl, a, b)
+        for i, net in enumerate(out):
+            nl.add_output(f"s{i}", net)
+        sim = Simulator(nl)
+        for x in range(8):
+            for y in range(8):
+                vec = {f"a{i}": (x >> i) & 1 for i in range(width)}
+                vec.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+                sim.evaluate(vec)
+                total = sum(sim.value(net) << i for i, net in enumerate(out))
+                assert total == x + y
+
+    def test_adder_width_mismatch(self):
+        from repro.hardware.components import ripple_adder
+
+        nl = Netlist()
+        a = [nl.add_input("a0")]
+        b = [nl.add_input("b0"), nl.add_input("b1")]
+        with pytest.raises(ValueError):
+            ripple_adder(nl, a, b)
+
+    def test_popcount_tree_exhaustive(self):
+        from repro.hardware.components import popcount_tree
+
+        n = 5
+        nl = Netlist()
+        bits = [nl.add_input(f"i{k}") for k in range(n)]
+        out = popcount_tree(nl, bits)
+        for i, net in enumerate(out):
+            nl.add_output(f"c{i}", net)
+        sim = Simulator(nl)
+        for pattern in range(1 << n):
+            vec = {f"i{k}": (pattern >> k) & 1 for k in range(n)}
+            sim.evaluate(vec)
+            count = sum(sim.value(net) << i for i, net in enumerate(out))
+            assert count == bin(pattern).count("1")
+
+    def test_popcount_empty_rejected(self):
+        from repro.hardware.components import popcount_tree
+
+        with pytest.raises(ValueError):
+            popcount_tree(Netlist(), [])

@@ -1,0 +1,93 @@
+"""Associative (cleanup) memory."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import AssociativeMemory, bind, random_hypervectors
+
+
+@pytest.fixture()
+def memory():
+    rng = np.random.default_rng(0)
+    mem = AssociativeMemory(1024)
+    vectors = random_hypervectors(5, 1024, rng)
+    for index, vector in enumerate(vectors):
+        mem.store(f"item{index}", vector)
+    return mem, vectors
+
+
+class TestStore:
+    def test_len_and_contains(self, memory):
+        mem, _ = memory
+        assert len(mem) == 5
+        assert "item3" in mem
+        assert "missing" not in mem
+
+    def test_replace(self, memory):
+        mem, vectors = memory
+        replacement = -vectors[0]
+        mem.store("item0", replacement)
+        assert len(mem) == 5
+        np.testing.assert_array_equal(mem.vector("item0"), replacement)
+
+    def test_wrong_shape(self, memory):
+        mem, _ = memory
+        with pytest.raises(ValueError):
+            mem.store("bad", np.ones(10))
+
+    def test_defensive_copy(self, memory):
+        mem, _ = memory
+        external = np.ones(1024, dtype=np.int8)
+        mem.store("mine", external)
+        external[:] = -1
+        assert (mem.vector("mine") == 1).all()
+
+    def test_unknown_name(self, memory):
+        mem, _ = memory
+        with pytest.raises(KeyError):
+            mem.vector("missing")
+
+
+class TestRecall:
+    def test_exact_recall(self, memory):
+        mem, vectors = memory
+        name, similarity = mem.recall(vectors[2])[0]
+        assert name == "item2"
+        assert similarity == pytest.approx(1.0)
+
+    def test_noisy_recall(self, memory):
+        mem, vectors = memory
+        rng = np.random.default_rng(1)
+        noisy = vectors[4].astype(np.int64).copy()
+        flips = rng.random(1024) < 0.25
+        noisy[flips] *= -1
+        assert mem.recall(noisy)[0][0] == "item4"
+
+    def test_top_k_ordering(self, memory):
+        mem, vectors = memory
+        results = mem.recall(vectors[1], k=3)
+        assert len(results) == 3
+        sims = [s for _, s in results]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_cleanup_after_unbinding(self, memory):
+        mem, vectors = memory
+        rng = np.random.default_rng(2)
+        key = random_hypervectors(1, 1024, rng)[0]
+        bound = bind(key, vectors[3])
+        recovered = mem.cleanup(bind(bound, key))  # unbind, then clean
+        np.testing.assert_array_equal(recovered, vectors[3])
+
+    def test_empty_memory(self):
+        mem = AssociativeMemory(64)
+        with pytest.raises(RuntimeError):
+            mem.recall(np.ones(64))
+
+    def test_bad_k(self, memory):
+        mem, vectors = memory
+        with pytest.raises(ValueError):
+            mem.recall(vectors[0], k=6)
+
+    def test_bad_dim(self):
+        with pytest.raises(ValueError):
+            AssociativeMemory(0)

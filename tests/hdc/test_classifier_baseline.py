@@ -1,0 +1,164 @@
+"""Centroid classifier and the end-to-end baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import (
+    BaselineConfig,
+    BaselineHDC,
+    CentroidClassifier,
+    random_hypervectors,
+)
+
+
+def separable_data(num_classes=3, dim=512, per_class=20, noise=0.1, seed=0):
+    """Noisy copies of orthogonal prototypes — trivially separable."""
+    rng = np.random.default_rng(seed)
+    prototypes = random_hypervectors(num_classes, dim, rng)
+    encoded, labels = [], []
+    for cls in range(num_classes):
+        for _ in range(per_class):
+            noisy = prototypes[cls].astype(np.int64).copy()
+            flips = rng.random(dim) < noise
+            noisy[flips] *= -1
+            encoded.append(noisy)
+            labels.append(cls)
+    return np.array(encoded), np.array(labels)
+
+
+class TestCentroidClassifier:
+    def test_fit_predict_separable(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        assert clf.score(encoded, labels) > 0.95
+
+    def test_binarized_policy_also_separates(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512, binarize=True).fit(encoded, labels)
+        assert clf.score(encoded, labels) > 0.95
+
+    def test_class_hypervectors_shape(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        assert clf.class_hypervectors.shape == (3, 512)
+        assert set(np.unique(clf.class_hypervectors)) <= {-1, 1}
+
+    def test_accumulators_read_only(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        with pytest.raises(ValueError):
+            clf.accumulators[0, 0] = 7
+
+    def test_incremental_fit_accumulates(self):
+        encoded, labels = separable_data()
+        whole = CentroidClassifier(3, 512).fit(encoded, labels)
+        split = CentroidClassifier(3, 512)
+        split.fit(encoded[:30], labels[:30])
+        split.fit(encoded[30:], labels[30:])
+        np.testing.assert_array_equal(whole.accumulators, split.accumulators)
+
+    def test_similarities_shape(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        assert clf.similarities(encoded[:5]).shape == (5, 3)
+
+    def test_retrain_returns_corrections(self):
+        encoded, labels = separable_data(noise=0.4)
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        before = clf.score(encoded, labels)
+        clf.retrain(encoded, labels, epochs=5)
+        assert clf.score(encoded, labels) >= before
+
+    def test_retrain_zero_epochs(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        assert clf.retrain(encoded, labels, epochs=0) == 0
+
+    def test_unfitted_raises(self):
+        clf = CentroidClassifier(3, 512)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((1, 512)))
+        with pytest.raises(RuntimeError):
+            _ = clf.class_hypervectors
+
+    def test_bad_labels(self):
+        clf = CentroidClassifier(3, 8)
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((2, 8)), np.array([0, 3]))
+
+    def test_shape_mismatches(self):
+        clf = CentroidClassifier(3, 8)
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((2, 9)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            clf.fit(np.zeros((2, 8)), np.array([0]))
+
+    def test_empty_score_rejected(self):
+        encoded, labels = separable_data()
+        clf = CentroidClassifier(3, 512).fit(encoded, labels)
+        with pytest.raises(ValueError):
+            clf.score(np.zeros((0, 512)), np.array([], dtype=int))
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            CentroidClassifier(1, 8)
+        with pytest.raises(ValueError):
+            CentroidClassifier(2, 0)
+
+
+class TestBaselineHDC:
+    def test_end_to_end_beats_chance(self, tiny_digits):
+        model = BaselineHDC(784, 10, BaselineConfig(dim=512, seed=1))
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        acc = model.score(tiny_digits.test_images, tiny_digits.test_labels)
+        assert acc > 0.3  # 10-class chance is 0.1
+
+    def test_same_seed_same_model(self, tiny_digits):
+        results = []
+        for _ in range(2):
+            model = BaselineHDC(784, 10, BaselineConfig(dim=256, seed=5))
+            model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+            results.append(model.predict(tiny_digits.test_images))
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_reseed_changes_predictions(self, tiny_digits):
+        model = BaselineHDC(784, 10, BaselineConfig(dim=256, seed=0))
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        first = model.predict(tiny_digits.test_images)
+        model.reseed(99)
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        second = model.predict(tiny_digits.test_images)
+        assert not np.array_equal(first, second)
+
+    def test_reseed_invalidates_fit(self, tiny_digits):
+        model = BaselineHDC(784, 10, BaselineConfig(dim=256))
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        model.reseed(1)
+        with pytest.raises(RuntimeError):
+            model.predict(tiny_digits.test_images)
+
+    def test_unfitted_raises(self, tiny_digits):
+        model = BaselineHDC(784, 10, BaselineConfig(dim=256))
+        with pytest.raises(RuntimeError):
+            model.score(tiny_digits.test_images, tiny_digits.test_labels)
+
+    def test_wrong_pixel_count(self, tiny_digits):
+        model = BaselineHDC(100, 10, BaselineConfig(dim=256))
+        with pytest.raises(ValueError):
+            model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+
+    def test_level_scheme_flip_works(self, tiny_digits):
+        model = BaselineHDC(784, 10,
+                            BaselineConfig(dim=512, seed=1, level_scheme="flip"))
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        assert model.score(tiny_digits.test_images, tiny_digits.test_labels) > 0.3
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(dim=0)
+        with pytest.raises(ValueError):
+            BaselineConfig(levels=1)
+
+    def test_bad_pixels(self):
+        with pytest.raises(ValueError):
+            BaselineHDC(0, 10, BaselineConfig())

@@ -1,0 +1,119 @@
+"""Tabular HDC encoder and HDC noise robustness."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import TabularHDC
+from repro.core import UHDClassifier, UHDConfig
+
+
+def blobs(n_per_class=60, num_features=10, separation=2.5, seed=0):
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(0.0, 1.0, (n_per_class, num_features))
+    x1 = rng.normal(separation, 1.0, (n_per_class, num_features))
+    features = np.vstack([x0, x1])
+    labels = np.array([0] * n_per_class + [1] * n_per_class)
+    order = rng.permutation(labels.size)
+    return features[order], labels[order]
+
+
+class TestTabularHDC:
+    @pytest.mark.parametrize("encoding", ["uhd", "record"])
+    def test_separable_blobs(self, encoding):
+        features, labels = blobs()
+        model = TabularHDC(10, 2, encoding=encoding, dim=512)
+        model.fit(features, labels)
+        assert model.score(features, labels) > 0.9
+
+    def test_generalizes(self):
+        train_f, train_l = blobs(seed=1)
+        test_f, test_l = blobs(seed=2)
+        model = TabularHDC(10, 2, dim=512).fit(train_f, train_l)
+        assert model.score(test_f, test_l) > 0.85
+
+    def test_constant_feature_handled(self):
+        features, labels = blobs()
+        features[:, 3] = 7.0  # zero-variance column
+        model = TabularHDC(10, 2, dim=256).fit(features, labels)
+        assert model.score(features, labels) > 0.8
+
+    def test_predict_before_fit(self):
+        model = TabularHDC(4, 2)
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 4)))
+
+    def test_bad_encoding(self):
+        with pytest.raises(ValueError):
+            TabularHDC(4, 2, encoding="spatial")
+
+    def test_wrong_feature_count(self):
+        features, labels = blobs()
+        model = TabularHDC(11, 2)
+        with pytest.raises(ValueError):
+            model.fit(features, labels)
+
+    def test_scaling_clips_unseen_range(self):
+        train_f, train_l = blobs(seed=3)
+        model = TabularHDC(10, 2, dim=256).fit(train_f, train_l)
+        extreme = train_f * 100.0  # far outside the learned range
+        predictions = model.predict(extreme)
+        assert predictions.shape == (train_f.shape[0],)
+
+
+class TestNoiseRobustness:
+    """The paper's §III robustness claim: "hypervector generation may
+    experience some flipped bits ... the accumulated values yield large
+    scalars and the sign of accumulation is not easily affected."  We
+    inject bit flips at the *level-bit* stage (noisy comparator outputs)
+    and check the accumulation absorbs them."""
+
+    @pytest.fixture(scope="class")
+    def fitted(self, tiny_digits):
+        model = UHDClassifier(784, 10, UHDConfig(dim=1024))
+        model.fit(tiny_digits.train_images, tiny_digits.train_labels)
+        return model, tiny_digits.test_images, tiny_digits.test_labels
+
+    def _encode_with_bit_flips(self, model, images, flip_fraction, seed=0):
+        """Re-encode images with a fraction of level bits flipped."""
+        from repro.lds.quantize import quantize_intensity
+
+        rng = np.random.default_rng(seed)
+        enc = model.encoder
+        codes = enc.quantized_codes
+        flat = images.reshape(images.shape[0], -1)
+        pixel_codes = quantize_intensity(flat, model.config.levels)
+        out = np.empty((flat.shape[0], enc.dim), dtype=np.int64)
+        for index in range(flat.shape[0]):
+            ge = pixel_codes[index][:, None] >= codes  # (H, D) level bits
+            flips = rng.random(ge.shape) < flip_fraction
+            noisy = ge ^ flips
+            out[index] = 2 * noisy.sum(axis=0, dtype=np.int64) - flat.shape[1]
+        return out
+
+    def _accuracy(self, fitted, flip_fraction):
+        model, images, labels = fitted
+        encoded = self._encode_with_bit_flips(model, images, flip_fraction)
+        return float(np.mean(model.classifier.predict(encoded) == labels))
+
+    def test_clean_matches_normal_path(self, fitted):
+        model, images, labels = fitted
+        encoded = self._encode_with_bit_flips(model, images, 0.0)
+        np.testing.assert_array_equal(encoded,
+                                      model.encoder.encode_batch(images))
+
+    def test_graceful_degradation(self, fitted):
+        clean = self._accuracy(fitted, 0.0)
+        light = self._accuracy(fitted, 0.02)
+        moderate = self._accuracy(fitted, 0.10)
+        assert light > clean - 0.10   # 2% flipped comparator bits: negligible
+        assert moderate > 0.25        # 10%: degraded but far above chance
+
+    def test_symmetric_noise_cancels_in_expectation(self, fitted):
+        model, images, _ = fitted
+        clean = model.encoder.encode_batch(images[:10]).astype(np.float64)
+        noisy = self._encode_with_bit_flips(model, images[:10], 0.05)
+        # Flips push each accumulator toward 0 by ~2*eps*|V|; correlation
+        # with the clean encoding stays overwhelming.
+        for c, n in zip(clean, noisy.astype(np.float64)):
+            corr = np.corrcoef(c, n)[0, 1]
+            assert corr > 0.9

@@ -1,0 +1,108 @@
+"""Item memories: random codebook and level ladders."""
+
+import numpy as np
+import pytest
+
+from repro.hdc import LevelItemMemory, RandomItemMemory
+from repro.lds.discrepancy import hypervector_orthogonality
+
+
+class TestRandomItemMemory:
+    def test_shape(self):
+        mem = RandomItemMemory(10, 256, np.random.default_rng(0))
+        assert mem.matrix.shape == (10, 256)
+        assert mem.matrix.dtype == np.int8
+
+    def test_near_orthogonal(self):
+        mem = RandomItemMemory(8, 4096, np.random.default_rng(1))
+        assert hypervector_orthogonality(mem.matrix) < 0.05
+
+    def test_vector_lookup(self):
+        mem = RandomItemMemory(4, 32, np.random.default_rng(2))
+        np.testing.assert_array_equal(mem.vector(2), mem.matrix[2])
+
+    def test_encode_gathers(self):
+        mem = RandomItemMemory(4, 32, np.random.default_rng(3))
+        out = mem.encode(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 32)
+        np.testing.assert_array_equal(out[1, 0], mem.vector(2))
+
+    def test_out_of_range(self):
+        mem = RandomItemMemory(4, 32, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            mem.vector(4)
+        with pytest.raises(ValueError):
+            mem.encode(np.array([-1]))
+
+    def test_read_only(self):
+        mem = RandomItemMemory(2, 8, np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            mem.matrix[0, 0] = -1
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            RandomItemMemory(0, 8, np.random.default_rng(0))
+
+
+class TestLevelFlipScheme:
+    def test_similarity_decays_with_distance(self):
+        mem = LevelItemMemory(16, 4096, np.random.default_rng(6), scheme="flip")
+        base = mem.vector(0).astype(np.float64)
+        sims = [float(base @ mem.vector(k).astype(np.float64)) / 4096 for k in range(16)]
+        assert all(s1 >= s2 - 1e-9 for s1, s2 in zip(sims, sims[1:]))
+
+    def test_extremes_near_orthogonal(self):
+        mem = LevelItemMemory(16, 8192, np.random.default_rng(7), scheme="flip")
+        sim = float(mem.vector(0).astype(np.int64) @ mem.vector(15).astype(np.int64)) / 8192
+        assert abs(sim) < 0.05
+
+    def test_adjacent_levels_highly_similar(self):
+        mem = LevelItemMemory(16, 4096, np.random.default_rng(8), scheme="flip")
+        sim = float(mem.vector(7).astype(np.int64) @ mem.vector(8).astype(np.int64)) / 4096
+        assert sim > 0.9
+
+
+class TestLevelThresholdScheme:
+    def test_mean_monotonic_in_level(self):
+        mem = LevelItemMemory(16, 4096, np.random.default_rng(9),
+                              scheme="threshold")
+        means = [float(mem.vector(k).mean()) for k in range(16)]
+        assert all(m1 <= m2 + 1e-9 for m1, m2 in zip(means, means[1:]))
+
+    def test_extreme_levels(self):
+        mem = LevelItemMemory(16, 1024, np.random.default_rng(10),
+                              scheme="threshold")
+        assert (mem.vector(15) == 1).all()    # value 1.0 >= every threshold
+
+    def test_proportional_ones(self):
+        mem = LevelItemMemory(16, 8192, np.random.default_rng(11),
+                              scheme="threshold")
+        ones = float((mem.vector(8) == 1).mean())
+        assert abs(ones - 8 / 15) < 0.03
+
+
+class TestCommon:
+    def test_encode_shape(self):
+        mem = LevelItemMemory(8, 64, np.random.default_rng(12))
+        out = mem.encode(np.array([0, 3, 7]))
+        assert out.shape == (3, 64)
+
+    def test_bad_scheme(self):
+        with pytest.raises(ValueError):
+            LevelItemMemory(8, 64, np.random.default_rng(0), scheme="spline")
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError):
+            LevelItemMemory(1, 64, np.random.default_rng(0))
+
+    def test_level_out_of_range(self):
+        mem = LevelItemMemory(8, 64, np.random.default_rng(13))
+        with pytest.raises(ValueError):
+            mem.vector(8)
+        with pytest.raises(ValueError):
+            mem.encode(np.array([9]))
+
+    def test_read_only(self):
+        mem = LevelItemMemory(8, 64, np.random.default_rng(14))
+        with pytest.raises(ValueError):
+            mem.matrix[0, 0] = -1

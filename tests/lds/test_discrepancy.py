@@ -1,0 +1,102 @@
+"""Uniformity diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.lds import SobolEngine
+from repro.lds.discrepancy import (
+    hypervector_orthogonality,
+    is_zero_one_sequence_prefix,
+    max_pairwise_correlation,
+    star_discrepancy_1d,
+    stratification_counts,
+)
+
+
+class TestStarDiscrepancy:
+    def test_single_point_at_zero(self):
+        assert star_discrepancy_1d(np.array([0.0])) == pytest.approx(1.0)
+
+    def test_midpoint(self):
+        assert star_discrepancy_1d(np.array([0.5])) == pytest.approx(0.5)
+
+    def test_equispaced_offset_grid_is_optimal(self):
+        n = 64
+        points = (np.arange(n) + 0.5) / n
+        assert star_discrepancy_1d(points) == pytest.approx(0.5 / n)
+
+    def test_sobol_beats_random(self):
+        n = 1024
+        sobol = SobolEngine(1).random(n)[:, 0]
+        random = np.random.default_rng(0).random(n)
+        assert star_discrepancy_1d(sobol) < star_discrepancy_1d(random) / 5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            star_discrepancy_1d(np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            star_discrepancy_1d(np.array([]))
+
+
+class TestStratification:
+    def test_sobol_perfect(self):
+        points = SobolEngine(1).random(64)[:, 0]
+        counts = stratification_counts(points, 6)
+        assert (counts == 1).all()
+
+    def test_detects_clumping(self):
+        points = np.full(16, 0.3)
+        counts = stratification_counts(points, 4)
+        assert counts.max() == 16
+        assert not is_zero_one_sequence_prefix(points, 4)
+
+    def test_needs_enough_points(self):
+        with pytest.raises(ValueError):
+            stratification_counts(np.array([0.1]), 3)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            stratification_counts(np.array([0.1]), -1)
+
+
+class TestPairwiseCorrelation:
+    def test_identical_rows(self):
+        row = np.random.default_rng(1).random(256)
+        matrix = np.vstack([row, row])
+        assert max_pairwise_correlation(matrix) == pytest.approx(1.0)
+
+    def test_independent_rows_small(self):
+        matrix = np.random.default_rng(2).random((8, 4096))
+        assert max_pairwise_correlation(matrix) < 0.1
+
+    def test_sampling_caps_rows(self):
+        matrix = np.random.default_rng(3).random((64, 128))
+        # Must not raise and must return a bounded value.
+        value = max_pairwise_correlation(matrix, sample=8)
+        assert 0.0 <= value <= 1.0
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            max_pairwise_correlation(np.random.random((1, 8)))
+
+
+class TestHypervectorOrthogonality:
+    def test_orthogonal_pair(self):
+        hv = np.array([[1, 1, -1, -1], [1, -1, 1, -1]], dtype=np.int8)
+        assert hypervector_orthogonality(hv) == pytest.approx(0.0)
+
+    def test_identical_pair(self):
+        hv = np.array([[1, -1, 1, -1]] * 2, dtype=np.int8)
+        assert hypervector_orthogonality(hv) == pytest.approx(1.0)
+
+    def test_random_scales_with_dimension(self):
+        rng = np.random.default_rng(4)
+        small = np.where(rng.random((10, 128)) < 0.5, 1, -1)
+        large = np.where(rng.random((10, 8192)) < 0.5, 1, -1)
+        assert hypervector_orthogonality(large) < hypervector_orthogonality(small)
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            hypervector_orthogonality(np.ones((1, 8)))

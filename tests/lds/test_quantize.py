@@ -1,0 +1,103 @@
+"""Quantization of LD scalars and intensities (paper Fig. 3(a))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lds import bits_for_levels, dequantize, quantize_intensity, quantize_unit
+
+
+class TestPaperWorkedExample:
+    def test_figure_3a_values(self):
+        # Fig. 3(a): Sobol scalars and their xi=16 quantized codes.
+        scalars = np.array([0.671875, 0.359375, 0.859375, 0.609375,
+                            0.109375, 0.984375, 0.484375])
+        expected = np.array([10, 5, 13, 9, 2, 15, 7])
+        np.testing.assert_array_equal(quantize_unit(scalars, 16), expected)
+
+
+class TestQuantizeUnit:
+    def test_endpoints(self):
+        assert quantize_unit(np.array([0.0]), 16)[0] == 0
+        assert quantize_unit(np.array([1.0]), 16)[0] == 15
+
+    def test_dtype_small(self):
+        assert quantize_unit(np.array([0.5]), 16).dtype == np.uint8
+
+    def test_dtype_large(self):
+        assert quantize_unit(np.array([0.5]), 1024).dtype == np.uint16
+
+    @given(levels=st.integers(2, 256))
+    @settings(max_examples=40)
+    def test_range(self, levels):
+        values = np.linspace(0.0, 1.0, 53)
+        codes = quantize_unit(values, levels)
+        assert codes.min() >= 0
+        assert codes.max() <= levels - 1
+
+    @given(levels=st.integers(2, 64))
+    @settings(max_examples=30)
+    def test_monotonic(self, levels):
+        values = np.linspace(0.0, 1.0, 101)
+        codes = quantize_unit(values, levels)
+        assert (np.diff(codes.astype(int)) >= 0).all()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_unit(np.array([1.5]), 16)
+        with pytest.raises(ValueError):
+            quantize_unit(np.array([-0.1]), 16)
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError):
+            quantize_unit(np.array([0.5]), 1)
+
+
+class TestQuantizeIntensity:
+    def test_uint8_full_scale(self):
+        codes = quantize_intensity(np.array([0, 255], dtype=np.uint8), 16)
+        np.testing.assert_array_equal(codes, [0, 15])
+
+    def test_matches_unit_path(self):
+        pixels = np.arange(256, dtype=np.uint8)
+        via_int = quantize_intensity(pixels, 16)
+        via_unit = quantize_unit(pixels / 255.0, 16)
+        np.testing.assert_array_equal(via_int, via_unit)
+
+    def test_float_input_clipped(self):
+        codes = quantize_intensity(np.array([-0.5, 0.5, 2.0]), 16)
+        np.testing.assert_array_equal(codes, [0, 8, 15])
+
+    def test_preserves_shape(self):
+        image = np.zeros((4, 5), dtype=np.uint8)
+        assert quantize_intensity(image, 16).shape == (4, 5)
+
+
+class TestDequantize:
+    @given(levels=st.integers(2, 64))
+    @settings(max_examples=30)
+    def test_round_trip(self, levels):
+        codes = np.arange(levels)
+        recovered = quantize_unit(dequantize(codes, levels), levels)
+        np.testing.assert_array_equal(recovered, codes)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            dequantize(np.array([16]), 16)
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError):
+            dequantize(np.array([0]), 1)
+
+
+class TestBitsForLevels:
+    def test_known(self):
+        assert bits_for_levels(16) == 4
+        assert bits_for_levels(2) == 1
+        assert bits_for_levels(17) == 5
+        assert bits_for_levels(256) == 8
+
+    def test_bad(self):
+        with pytest.raises(ValueError):
+            bits_for_levels(1)

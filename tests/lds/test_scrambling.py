@@ -1,0 +1,68 @@
+"""Matousek linear matrix scrambling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lds import SobolEngine, matousek_scramble, random_lower_triangular
+from repro.lds.discrepancy import is_zero_one_sequence_prefix
+
+
+class TestRandomLowerTriangular:
+    def test_unit_diagonal(self):
+        bits = 8
+        masks = random_lower_triangular(np.random.default_rng(0), bits)
+        for row in range(bits):
+            assert (int(masks[row]) >> (bits - 1 - row)) & 1 == 1
+
+    def test_strictly_lower(self):
+        bits = 8
+        masks = random_lower_triangular(np.random.default_rng(1), bits)
+        for row in range(bits):
+            # No digit below position `row` may contribute.
+            for k in range(row + 1, bits):
+                assert (int(masks[row]) >> (bits - 1 - k)) & 1 == 0
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            random_lower_triangular(np.random.default_rng(0), 0)
+
+
+class TestMatousekScramble:
+    @given(seed=st.integers(0, 1000), k=st.integers(3, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_preserves_zero_one_property(self, seed, k):
+        ints = SobolEngine(3, seed=5).integers(1 << k)
+        scrambled = matousek_scramble(ints, seed=seed)
+        points = scrambled.astype(np.float64) / 2**32
+        for dim in range(3):
+            assert is_zero_one_sequence_prefix(points[:, dim], k)
+
+    def test_deterministic(self):
+        ints = SobolEngine(2, seed=5).integers(64)
+        a = matousek_scramble(ints, seed=7)
+        b = matousek_scramble(ints, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        ints = SobolEngine(2, seed=5).integers(64)
+        a = matousek_scramble(ints, seed=7)
+        b = matousek_scramble(ints, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_dimensions_scrambled_independently(self):
+        # Same input column in two dimensions must scramble differently.
+        column = SobolEngine(1, seed=5).integers(64)
+        doubled = np.hstack([column, column])
+        scrambled = matousek_scramble(doubled, seed=3)
+        assert not np.array_equal(scrambled[:, 0], scrambled[:, 1])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            matousek_scramble(np.zeros(8, dtype=np.uint64), seed=0)
+
+    def test_actually_changes_points(self):
+        ints = SobolEngine(2, seed=5).integers(64)
+        scrambled = matousek_scramble(ints, seed=11)
+        assert not np.array_equal(ints, scrambled)

@@ -1,0 +1,136 @@
+"""Sobol engine: paper-listed sequence, (0,1)-sequence property, API."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lds import SobolEngine, sobol_sequences
+from repro.lds.discrepancy import is_zero_one_sequence_prefix
+
+
+class TestFirstDimension:
+    def test_matches_paper_listing(self):
+        # Fig. 2 lists dimension 0 as 0, 1/2, 1/4, 3/4, 1/8, 5/8, 3/8, ...
+        points = SobolEngine(1).random(8)[:, 0]
+        expected = [0.0, 0.5, 0.25, 0.75, 0.125, 0.625, 0.375, 0.875]
+        np.testing.assert_allclose(points, expected)
+
+    def test_gray_order_same_point_set(self):
+        natural = SobolEngine(2, order="natural").random(16)
+        gray = SobolEngine(2, order="gray").random(16)
+        for dim in range(2):
+            assert set(natural[:, dim]) == set(gray[:, dim])
+
+
+class TestZeroOneSequenceProperty:
+    @given(dim=st.integers(1, 64), k=st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_every_dimension_stratifies(self, dim, k):
+        engine = SobolEngine(max(dim, 1), seed=99)
+        points = engine.random(1 << k)
+        assert is_zero_one_sequence_prefix(points[:, dim - 1], k)
+
+    def test_recurrence_init_also_stratifies(self):
+        seqs = sobol_sequences(16, 256, seed=5, init="recurrence")
+        for row in seqs:
+            assert is_zero_one_sequence_prefix(row, 8)
+
+    def test_digital_shift_preserves_stratification(self):
+        seqs = sobol_sequences(8, 256, seed=5, digital_shift=True)
+        for row in seqs:
+            assert is_zero_one_sequence_prefix(row, 8)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = SobolEngine(10, seed=3).random(100)
+        b = SobolEngine(10, seed=3).random(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = SobolEngine(10, seed=3).random(100)
+        b = SobolEngine(10, seed=4).random(100)
+        assert not np.array_equal(a, b)
+
+    def test_seed_does_not_change_dimension_zero(self):
+        a = SobolEngine(4, seed=1).random(64)[:, 0]
+        b = SobolEngine(4, seed=2).random(64)[:, 0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestStatefulApi:
+    def test_chunked_equals_bulk(self):
+        bulk = SobolEngine(5, seed=7).random(64)
+        engine = SobolEngine(5, seed=7)
+        chunked = np.vstack([engine.random(16) for _ in range(4)])
+        np.testing.assert_array_equal(bulk, chunked)
+
+    def test_fast_forward(self):
+        bulk = SobolEngine(3, seed=7).random(64)
+        engine = SobolEngine(3, seed=7).fast_forward(32)
+        np.testing.assert_array_equal(engine.random(32), bulk[32:])
+
+    def test_reset(self):
+        engine = SobolEngine(3, seed=7)
+        first = engine.random(16)
+        engine.reset()
+        np.testing.assert_array_equal(engine.random(16), first)
+
+    def test_index_property(self):
+        engine = SobolEngine(2)
+        assert engine.index == 0
+        engine.random(5)
+        assert engine.index == 5
+
+    def test_zero_points(self):
+        assert SobolEngine(2).random(0).shape == (0, 2)
+
+    def test_integers_in_range(self):
+        values = SobolEngine(4, max_bits=16).integers(256)
+        assert values.min() >= 0
+        assert values.max() < (1 << 16)
+
+
+class TestValidation:
+    def test_bad_dimension(self):
+        with pytest.raises(ValueError, match="dimension"):
+            SobolEngine(0)
+
+    def test_bad_max_bits(self):
+        with pytest.raises(ValueError, match="max_bits"):
+            SobolEngine(1, max_bits=63)
+
+    def test_bad_init(self):
+        with pytest.raises(ValueError, match="init"):
+            SobolEngine(1, init="tables")
+
+    def test_bad_order(self):
+        with pytest.raises(ValueError, match="order"):
+            SobolEngine(1, order="shuffled")
+
+    def test_negative_n(self):
+        with pytest.raises(ValueError):
+            SobolEngine(1).random(-1)
+
+    def test_negative_fast_forward(self):
+        with pytest.raises(ValueError):
+            SobolEngine(1).fast_forward(-1)
+
+
+class TestSobolSequences:
+    def test_shape_and_dtype(self):
+        seqs = sobol_sequences(12, 64, dtype=np.float32)
+        assert seqs.shape == (12, 64)
+        assert seqs.dtype == np.float32
+        assert seqs.flags["C_CONTIGUOUS"]
+
+    def test_rows_are_engine_columns(self):
+        seqs = sobol_sequences(6, 32, seed=9)
+        engine = SobolEngine(6, seed=9)
+        np.testing.assert_array_equal(seqs, engine.random(32).T)
+
+    def test_range(self):
+        seqs = sobol_sequences(20, 128)
+        assert seqs.min() >= 0.0
+        assert seqs.max() < 1.0

@@ -1,0 +1,99 @@
+"""Van der Corput / Halton sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lds import first_primes, halton_sequences, radical_inverse, van_der_corput
+
+
+class TestRadicalInverse:
+    def test_base2_known(self):
+        assert radical_inverse(0, 2) == 0.0
+        assert radical_inverse(1, 2) == 0.5
+        assert radical_inverse(2, 2) == 0.25
+        assert radical_inverse(3, 2) == 0.75
+        assert radical_inverse(6, 2) == 0.375
+
+    def test_base3_known(self):
+        assert radical_inverse(1, 3) == pytest.approx(1 / 3)
+        assert radical_inverse(2, 3) == pytest.approx(2 / 3)
+        assert radical_inverse(3, 3) == pytest.approx(1 / 9)
+
+    @given(index=st.integers(0, 10_000), base=st.integers(2, 13))
+    @settings(max_examples=60)
+    def test_unit_interval(self, index, base):
+        assert 0.0 <= radical_inverse(index, base) < 1.0
+
+    def test_bad_base(self):
+        with pytest.raises(ValueError):
+            radical_inverse(1, 1)
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            radical_inverse(-1, 2)
+
+
+class TestVanDerCorput:
+    def test_base2_vectorized_matches_scalar(self):
+        points = van_der_corput(64, base=2)
+        expected = [radical_inverse(i, 2) for i in range(64)]
+        np.testing.assert_allclose(points, expected)
+
+    def test_base3(self):
+        points = van_der_corput(10, base=3)
+        expected = [radical_inverse(i, 3) for i in range(10)]
+        np.testing.assert_allclose(points, expected)
+
+    def test_start_offset(self):
+        offset = van_der_corput(8, base=2, start=8)
+        full = van_der_corput(16, base=2)
+        np.testing.assert_allclose(offset, full[8:])
+
+    def test_stratification(self):
+        points = van_der_corput(16, base=2)
+        bins = np.floor(points * 16).astype(int)
+        assert sorted(bins) == list(range(16))
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            van_der_corput(-1)
+
+    def test_empty(self):
+        assert van_der_corput(0).size == 0
+
+
+class TestFirstPrimes:
+    def test_known_prefix(self):
+        assert first_primes(10) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_zero(self):
+        assert first_primes(0) == []
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            first_primes(-2)
+
+
+class TestHalton:
+    def test_shape(self):
+        seqs = halton_sequences(5, 32)
+        assert seqs.shape == (5, 32)
+
+    def test_rows_are_prime_base_vdc(self):
+        seqs = halton_sequences(3, 16)
+        np.testing.assert_allclose(seqs[0], van_der_corput(16, base=2))
+        np.testing.assert_allclose(seqs[1], van_der_corput(16, base=3))
+        np.testing.assert_allclose(seqs[2], van_der_corput(16, base=5))
+
+    def test_start_burn_in(self):
+        seqs = halton_sequences(2, 8, start=4)
+        np.testing.assert_allclose(seqs[0], van_der_corput(8, base=2, start=4))
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            halton_sequences(0, 8)
+
+    def test_dtype(self):
+        assert halton_sequences(2, 8, dtype=np.float32).dtype == np.float32

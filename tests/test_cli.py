@@ -1,0 +1,43 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig6" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "uhd" in out and "baseline" in out
+
+    def test_table2_custom_dims(self, capsys):
+        assert main(["table2", "--dims", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "1024" in out
+
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "This work (measured)" in out
+        assert "Semi-HD" in out
+
+    def test_checkpoints(self, capsys):
+        assert main(["checkpoints"]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint1" in out and "checkpoint3" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["tableX"])

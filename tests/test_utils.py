@@ -1,0 +1,38 @@
+"""Shared utilities."""
+
+import time
+
+import pytest
+
+from repro.utils import Stopwatch, require_in_range, require_positive
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as sw:
+            time.sleep(0.01)
+        assert sw.elapsed >= 0.01
+
+    def test_zero_before_use(self):
+        assert Stopwatch().elapsed == 0.0
+
+
+class TestValidation:
+    def test_require_positive_passes(self):
+        require_positive(1, "x")
+        require_positive(0.001, "x")
+
+    def test_require_positive_fails(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_require_in_range_passes(self):
+        require_in_range(5, 0, 10, "y")
+        require_in_range(0, 0, 10, "y")
+        require_in_range(10, 0, 10, "y")
+
+    def test_require_in_range_fails(self):
+        with pytest.raises(ValueError, match="y must lie in"):
+            require_in_range(11, 0, 10, "y")

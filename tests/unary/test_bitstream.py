@@ -1,0 +1,132 @@
+"""UnaryBitstream: construction, validation, algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary import UnaryBitstream
+
+
+class TestConstruction:
+    def test_from_value_trailing(self):
+        assert UnaryBitstream.from_value(2, 7).to01() == "0000011"
+
+    def test_from_value_leading(self):
+        assert UnaryBitstream.from_value(2, 7, alignment="leading").to01() == "1100000"
+
+    def test_from_value_zero(self):
+        assert UnaryBitstream.from_value(0, 5).to01() == "00000"
+
+    def test_from_value_full(self):
+        assert UnaryBitstream.from_value(5, 5).to01() == "11111"
+
+    def test_from_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream.from_value(8, 7)
+        with pytest.raises(ValueError):
+            UnaryBitstream.from_value(-1, 7)
+
+    def test_from01_paper_examples(self):
+        # Paper: X1 -> 0000011 is 2; X2 -> 0011111 is 5.
+        assert UnaryBitstream.from01("0000011").value == 2
+        assert UnaryBitstream.from01("0011111").value == 5
+
+    def test_from01_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream.from01("0102")
+
+    def test_rejects_non_unary(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream([0, 1, 0, 1])
+
+    def test_rejects_wrong_alignment(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream([1, 1, 0, 0])  # leading ones, trailing expected
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream(np.zeros((2, 2)))
+
+    def test_rejects_bad_alignment_name(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream([0, 1], alignment="center")
+
+    def test_bits_read_only(self):
+        stream = UnaryBitstream.from_value(2, 4)
+        with pytest.raises(ValueError):
+            stream.bits[0] = True
+
+
+class TestValueRoundTrip:
+    @given(value=st.integers(0, 16))
+    @settings(max_examples=34)
+    def test_round_trip(self, value):
+        assert UnaryBitstream.from_value(value, 16).value == value
+
+    @given(value=st.integers(0, 12))
+    @settings(max_examples=26)
+    def test_leading_round_trip(self, value):
+        stream = UnaryBitstream.from_value(value, 12, alignment="leading")
+        assert stream.value == value
+
+
+class TestAlgebra:
+    @given(a=st.integers(0, 10), b=st.integers(0, 10))
+    @settings(max_examples=50)
+    def test_and_is_min(self, a, b):
+        x = UnaryBitstream.from_value(a, 10)
+        y = UnaryBitstream.from_value(b, 10)
+        assert (x & y).value == min(a, b)
+
+    @given(a=st.integers(0, 10), b=st.integers(0, 10))
+    @settings(max_examples=50)
+    def test_or_is_max(self, a, b):
+        x = UnaryBitstream.from_value(a, 10)
+        y = UnaryBitstream.from_value(b, 10)
+        assert (x | y).value == max(a, b)
+
+    def test_complement_value_and_alignment(self):
+        stream = UnaryBitstream.from_value(3, 8)
+        inverted = stream.complement()
+        assert inverted.value == 5
+        assert inverted.alignment == "leading"
+
+    def test_double_complement_identity(self):
+        stream = UnaryBitstream.from_value(3, 8)
+        assert stream.complement().complement() == stream
+
+    def test_mixed_length_rejected(self):
+        with pytest.raises(ValueError):
+            UnaryBitstream.from_value(1, 4) & UnaryBitstream.from_value(1, 5)
+
+    def test_mixed_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            (UnaryBitstream.from_value(1, 4)
+             & UnaryBitstream.from_value(1, 4, alignment="leading"))
+
+    def test_and_with_non_stream_rejected(self):
+        with pytest.raises(TypeError):
+            UnaryBitstream.from_value(1, 4) & np.ones(4, dtype=bool)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        small = UnaryBitstream.from_value(2, 8)
+        large = UnaryBitstream.from_value(6, 8)
+        assert small < large
+        assert small <= large
+        assert large > small
+        assert large >= small
+
+    def test_equality_and_hash(self):
+        a = UnaryBitstream.from_value(3, 8)
+        b = UnaryBitstream.from_value(3, 8)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_not_equal_other_type(self):
+        assert UnaryBitstream.from_value(3, 8) != "00000111"
+
+    def test_len(self):
+        assert len(UnaryBitstream.from_value(3, 8)) == 8

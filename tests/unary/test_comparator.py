@@ -1,0 +1,86 @@
+"""The proposed unary comparator (paper Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary import (
+    UnaryBitstream,
+    compare_values_via_unary,
+    unary_ge,
+    unary_ge_batch,
+    unary_ge_bits,
+)
+
+
+class TestPaperExample:
+    def test_fig4_two_vs_five(self):
+        data = UnaryBitstream.from01("0000011")   # value 2
+        sobol = UnaryBitstream.from01("0011111")  # value 5
+        assert unary_ge(data, sobol) is False
+        assert unary_ge(sobol, data) is True
+
+
+class TestExhaustive:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16])
+    def test_all_pairs(self, n):
+        for a in range(n + 1):
+            for b in range(n + 1):
+                assert compare_values_via_unary(a, b, n) == (a >= b), (a, b, n)
+
+
+class TestProperties:
+    @given(a=st.integers(0, 16), b=st.integers(0, 16))
+    @settings(max_examples=60)
+    def test_antisymmetry(self, a, b):
+        forward = compare_values_via_unary(a, b, 16)
+        backward = compare_values_via_unary(b, a, 16)
+        assert forward or backward          # total order
+        if forward and backward:
+            assert a == b
+
+    @given(a=st.integers(0, 16))
+    @settings(max_examples=20)
+    def test_reflexive(self, a):
+        assert compare_values_via_unary(a, a, 16)
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            unary_ge(UnaryBitstream.from_value(1, 4),
+                     UnaryBitstream.from_value(1, 5))
+
+    def test_alignment_mismatch(self):
+        with pytest.raises(ValueError):
+            unary_ge(UnaryBitstream.from_value(1, 4),
+                     UnaryBitstream.from_value(1, 4, alignment="leading"))
+
+    def test_bits_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            unary_ge_bits(np.zeros(4, bool), np.zeros(5, bool))
+
+
+class TestBatch:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        n = 16
+        values = rng.integers(0, n + 1, size=(20, 2))
+        first = np.stack([UnaryBitstream.from_value(a, n).bits for a, _ in values])
+        second = np.stack([UnaryBitstream.from_value(b, n).bits for _, b in values])
+        batch = unary_ge_batch(first, second)
+        expected = values[:, 0] >= values[:, 1]
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_broadcasting(self):
+        n = 8
+        one = UnaryBitstream.from_value(4, n).bits
+        many = np.stack([UnaryBitstream.from_value(v, n).bits for v in range(n + 1)])
+        result = unary_ge_batch(one[None, :], many)
+        np.testing.assert_array_equal(result, 4 >= np.arange(n + 1))
+
+    def test_result_drops_stream_axis(self):
+        n = 8
+        streams = np.zeros((3, 4, n), dtype=bool)
+        assert unary_ge_batch(streams, streams).shape == (3, 4)

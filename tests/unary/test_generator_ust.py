@@ -1,0 +1,109 @@
+"""Counter+comparator generator and the Unary Stream Table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary import CounterComparatorGenerator, UnaryBitstream, UnaryStreamTable
+
+
+class TestCounterComparatorGenerator:
+    @given(value=st.integers(0, 16))
+    @settings(max_examples=34)
+    def test_matches_from_value(self, value):
+        gen = CounterComparatorGenerator(4)
+        assert gen.generate(value) == UnaryBitstream.from_value(value, 16)
+
+    def test_leading_alignment(self):
+        gen = CounterComparatorGenerator(3, alignment="leading")
+        assert gen.generate(3).to01() == "11100000"
+
+    def test_cycle_output_consistency(self):
+        gen = CounterComparatorGenerator(4)
+        bits = [gen.cycle_output(9, k) for k in range(16)]
+        assert UnaryBitstream(np.array(bits, dtype=bool)).value == 9
+
+    def test_batch_matches_scalar(self):
+        gen = CounterComparatorGenerator(4)
+        values = np.array([0, 3, 9, 16])
+        batch = gen.generate_batch(values)
+        for row, value in zip(batch, values):
+            np.testing.assert_array_equal(row, gen.generate(int(value)).bits)
+
+    def test_counter_toggles_formula(self):
+        assert CounterComparatorGenerator(4).counter_toggles() == 30
+        assert CounterComparatorGenerator(1).counter_toggles() == 2
+
+    def test_value_out_of_range(self):
+        with pytest.raises(ValueError):
+            CounterComparatorGenerator(3).generate(9)
+
+    def test_cycle_out_of_range(self):
+        with pytest.raises(ValueError):
+            CounterComparatorGenerator(3).cycle_output(1, 8)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            CounterComparatorGenerator(0)
+
+    def test_batch_out_of_range(self):
+        with pytest.raises(ValueError):
+            CounterComparatorGenerator(2).generate_batch(np.array([5]))
+
+
+class TestUnaryStreamTable:
+    def test_default_shape(self):
+        table = UnaryStreamTable(16)
+        assert table.table.shape == (16, 16)
+
+    @given(code=st.integers(0, 15))
+    @settings(max_examples=32)
+    def test_fetch_matches_from_value(self, code):
+        table = UnaryStreamTable(16)
+        assert table.fetch(code) == UnaryBitstream.from_value(code, 16)
+
+    def test_leading_table(self):
+        table = UnaryStreamTable(8, alignment="leading")
+        assert table.fetch(3).to01() == "11100000"
+
+    def test_fetch_batch_gathers(self):
+        table = UnaryStreamTable(16)
+        codes = np.array([[0, 5], [15, 9]])
+        streams = table.fetch_batch(codes)
+        assert streams.shape == (2, 2, 16)
+        np.testing.assert_array_equal(streams[0, 1], table.fetch(5).bits)
+
+    def test_memory_bits(self):
+        assert UnaryStreamTable(16).memory_bits() == 256
+
+    def test_custom_length(self):
+        table = UnaryStreamTable(4, length=8)
+        assert table.fetch(3).to01() == "00000111"
+
+    def test_length_too_short(self):
+        with pytest.raises(ValueError):
+            UnaryStreamTable(16, length=8)
+
+    def test_fetch_out_of_range(self):
+        with pytest.raises(ValueError):
+            UnaryStreamTable(16).fetch(16)
+
+    def test_fetch_batch_out_of_range(self):
+        with pytest.raises(ValueError):
+            UnaryStreamTable(16).fetch_batch(np.array([-1]))
+
+    def test_bad_levels(self):
+        with pytest.raises(ValueError):
+            UnaryStreamTable(1)
+
+    def test_table_read_only(self):
+        table = UnaryStreamTable(8)
+        with pytest.raises(ValueError):
+            table.table[0, 0] = True
+
+    def test_generator_and_table_agree(self):
+        gen = CounterComparatorGenerator(4)
+        table = UnaryStreamTable(16, length=16)
+        for value in range(16):
+            assert gen.generate(value) == table.fetch(value)

@@ -1,0 +1,110 @@
+"""Unary algebra (min/max/median) and SCC correlation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary import (
+    UnaryBitstream,
+    is_maximally_correlated,
+    overlap,
+    scc,
+    unary_max,
+    unary_max_batch,
+    unary_median3,
+    unary_min,
+    unary_min_batch,
+    unary_sort2,
+)
+
+values = st.integers(0, 12)
+
+
+def stream(v: int) -> UnaryBitstream:
+    return UnaryBitstream.from_value(v, 12)
+
+
+class TestOps:
+    @given(a=values, b=values)
+    @settings(max_examples=40)
+    def test_sort2(self, a, b):
+        lo, hi = unary_sort2(stream(a), stream(b))
+        assert (lo.value, hi.value) == (min(a, b), max(a, b))
+
+    @given(a=values, b=values, c=values)
+    @settings(max_examples=40)
+    def test_median3(self, a, b, c):
+        med = unary_median3(stream(a), stream(b), stream(c))
+        assert med.value == int(np.median([a, b, c]))
+
+    @given(a=values, b=values)
+    @settings(max_examples=30)
+    def test_min_max_consistency(self, a, b):
+        assert unary_min(stream(a), stream(b)).value + \
+            unary_max(stream(a), stream(b)).value == a + b
+
+    def test_min_batch(self):
+        streams = np.stack([stream(v).bits for v in (3, 7, 5)])
+        assert int(unary_min_batch(streams).sum()) == 3
+
+    def test_max_batch(self):
+        streams = np.stack([stream(v).bits for v in (3, 7, 5)])
+        assert int(unary_max_batch(streams).sum()) == 7
+
+    def test_batch_needs_matrix(self):
+        with pytest.raises(ValueError):
+            unary_min_batch(stream(3).bits)
+        with pytest.raises(ValueError):
+            unary_max_batch(stream(3).bits)
+
+
+class TestOverlap:
+    def test_counts_joint_ones(self):
+        assert overlap(stream(5).bits, stream(3).bits) == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            overlap(np.zeros(4, bool), np.zeros(5, bool))
+
+
+class TestScc:
+    @given(a=st.integers(1, 11), b=st.integers(1, 11))
+    @settings(max_examples=40)
+    def test_aligned_unary_is_plus_one(self, a, b):
+        assert scc(stream(a).bits, stream(b).bits) == pytest.approx(1.0)
+
+    def test_anti_aligned_is_minus_one(self):
+        x = UnaryBitstream.from_value(4, 12).bits
+        y = UnaryBitstream.from_value(4, 12, alignment="leading").bits
+        assert scc(x, y) == pytest.approx(-1.0)
+
+    def test_degenerate_streams_zero(self):
+        assert scc(np.zeros(8, bool), stream(4).bits[:8]) == 0.0
+        assert scc(np.ones(8, bool), stream(4).bits[:8]) == 0.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(9)
+        x = rng.random(4096) < 0.5
+        y = rng.random(4096) < 0.5
+        assert abs(scc(x, y)) < 0.08
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scc(np.array([], bool), np.array([], bool))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            scc(np.zeros(4, bool), np.zeros(5, bool))
+
+
+class TestMaximallyCorrelated:
+    @given(a=values, b=values)
+    @settings(max_examples=30)
+    def test_unary_pairs_always(self, a, b):
+        assert is_maximally_correlated(stream(a).bits, stream(b).bits)
+
+    def test_disjoint_not(self):
+        x = np.array([1, 1, 0, 0], bool)
+        y = np.array([0, 0, 1, 1], bool)
+        assert not is_maximally_correlated(x, y)

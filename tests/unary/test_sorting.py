@@ -1,0 +1,85 @@
+"""Unary sorting networks (reference [16] substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.unary import (
+    UnaryBitstream,
+    batcher_network,
+    compare_exchange_count,
+    unary_rank,
+    unary_sort,
+)
+
+_N = 10
+value_lists = st.lists(st.integers(0, _N), min_size=1, max_size=9)
+
+
+def streams_of(values):
+    return [UnaryBitstream.from_value(v, _N) for v in values]
+
+
+class TestBatcherNetwork:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 8])
+    def test_sorts_all_binary_inputs(self, n):
+        # 0-1 principle: a network sorting every 0/1 vector sorts anything.
+        pairs = batcher_network(n)
+        for pattern in range(1 << n):
+            lanes = [(pattern >> k) & 1 for k in range(n)]
+            for i, j in pairs:
+                if lanes[i] > lanes[j]:
+                    lanes[i], lanes[j] = lanes[j], lanes[i]
+            assert lanes == sorted(lanes), (n, pattern)
+
+    def test_pairs_are_ordered(self):
+        assert all(i < j for i, j in batcher_network(8))
+
+    def test_single_lane_empty(self):
+        assert batcher_network(1) == []
+
+    def test_bad_n(self):
+        with pytest.raises(ValueError):
+            batcher_network(0)
+
+    def test_cell_count(self):
+        assert compare_exchange_count(4) == len(batcher_network(4))
+
+
+class TestUnarySort:
+    @given(values=value_lists)
+    @settings(max_examples=50)
+    def test_sorts_values(self, values):
+        result = [s.value for s in unary_sort(streams_of(values))]
+        assert result == sorted(values)
+
+    @given(values=value_lists)
+    @settings(max_examples=30)
+    def test_outputs_remain_unary(self, values):
+        for stream in unary_sort(streams_of(values)):
+            assert isinstance(stream, UnaryBitstream)  # validated on build
+
+    def test_does_not_mutate_input(self):
+        streams = streams_of([5, 1, 3])
+        originals = [s.value for s in streams]
+        unary_sort(streams)
+        assert [s.value for s in streams] == originals
+
+
+class TestUnaryRank:
+    @given(values=value_lists)
+    @settings(max_examples=40)
+    def test_median(self, values):
+        rank = len(values) // 2
+        result = unary_rank(streams_of(values), rank)
+        assert result.value == sorted(values)[rank]
+
+    def test_min_and_max(self):
+        streams = streams_of([7, 2, 9, 4])
+        assert unary_rank(streams, 0).value == 2
+        assert unary_rank(streams, 3).value == 9
+
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            unary_rank(streams_of([1, 2]), 2)
