@@ -9,6 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core import SobolLevelEncoder, UHDConfig
+from repro.fastpath import PackedLevelEncoder
 from repro.hardware import Simulator
 from repro.hardware.circuits import (
     build_unary_comparator,
@@ -16,6 +17,7 @@ from repro.hardware.circuits import (
     unary_comparator_stimulus,
 )
 from repro.hdc import BaselineConfig, BaselineHDC
+from repro.hdc.classifier import CentroidClassifier
 from repro.unary import UnaryStreamTable, unary_ge_batch
 
 
@@ -25,10 +27,49 @@ def images():
     return rng.integers(0, 256, size=(32, 28, 28), dtype=np.uint8)
 
 
+@pytest.fixture(scope="module")
+def encoded_queries():
+    rng = np.random.default_rng(3)
+    encoded = rng.integers(-784, 785, size=(512, 1024), dtype=np.int64)
+    labels = rng.integers(0, 10, size=512)
+    return encoded, labels
+
+
+def _fitted_classifier(encoded, labels, backend):
+    clf = CentroidClassifier(10, 1024, binarize=True, backend=backend)
+    return clf.fit(encoded, labels)
+
+
 def test_uhd_encode_throughput(benchmark, images):
     encoder = SobolLevelEncoder(784, UHDConfig(dim=1024))
     result = benchmark(encoder.encode_batch, images)
     assert result.shape == (32, 1024)
+
+
+def test_uhd_packed_encode_throughput(benchmark, images):
+    """Packed fast path on the exact reference workload (>=10x target)."""
+    reference = SobolLevelEncoder(784, UHDConfig(dim=1024))
+    encoder = PackedLevelEncoder(784, UHDConfig(dim=1024))
+    for _ in range(5):  # warm past pair-table promotion
+        encoder.encode_batch(images)
+    result = benchmark(encoder.encode_batch, images)
+    np.testing.assert_array_equal(result, reference.encode_batch(images))
+
+
+def test_uhd_predict_binarized_throughput(benchmark, encoded_queries):
+    clf = _fitted_classifier(*encoded_queries, backend="reference")
+    result = benchmark(clf.predict, encoded_queries[0])
+    assert result.shape == (512,)
+
+
+def test_uhd_packed_predict_throughput(benchmark, encoded_queries):
+    reference = _fitted_classifier(*encoded_queries, backend="reference")
+    clf = _fitted_classifier(*encoded_queries, backend="packed")
+    clf.predict(encoded_queries[0])  # warm the packed class-HV cache
+    result = benchmark(clf.predict, encoded_queries[0])
+    # exact equality is safe at D=1024 (a power of 4): reference cosines
+    # are computed without rounding, so even tied rows break identically
+    np.testing.assert_array_equal(result, reference.predict(encoded_queries[0]))
 
 
 def test_baseline_encode_throughput(benchmark, images):
@@ -60,7 +101,12 @@ def test_netlist_simulation_rate(benchmark):
 
 
 def test_sobol_generation_rate(benchmark):
-    from repro.lds import sobol_sequences
+    # benchmark the engine directly: sobol_sequences now memoizes, so the
+    # library call would only measure a cache hit after the first round
+    from repro.lds import SobolEngine
 
-    result = benchmark(sobol_sequences, 784, 1024, 7)
+    def generate():
+        return SobolEngine(784, seed=7).random(1024).T
+
+    result = benchmark(generate)
     assert result.shape == (784, 1024)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Throughput benchmark runner: writes the machine-readable perf trajectory.
+
+Executes the reference-vs-packed encode and binarized-predict benchmarks
+(the same hot paths ``bench_throughput.py`` measures under
+pytest-benchmark, without needing the plugin) and writes
+``BENCH_throughput.json``: name, median seconds, ops/s and speedup vs the
+reference backend per benchmark.  Subsequent PRs regress against the
+checked-in file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_throughput.json --repeats 25
+
+Also exposed as ``repro-uhd bench``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.throughput import render_results, run_throughput_suite, write_bench_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_throughput.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=25,
+        help="timing repeats per benchmark, median reported (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--dim", "--dims", type=int, default=1024, dest="dim",
+        help="hypervector dimension (``--dims`` accepted to match the CLI)",
+    )
+    parser.add_argument("--pixels", type=int, default=784, help="pixels per image")
+    parser.add_argument("--batch", type=int, default=32, help="encode batch size")
+    parser.add_argument(
+        "--queries", type=int, default=512, help="inference query count"
+    )
+    args = parser.parse_args(argv)
+    results = run_throughput_suite(
+        pixels=args.pixels,
+        dim=args.dim,
+        batch=args.batch,
+        queries=args.queries,
+        repeats=args.repeats,
+    )
+    write_bench_json(results, args.out)
+    print(render_results(results))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,12 @@
 
 ``pip install -e . --no-use-pep517 --no-build-isolation`` uses this legacy
 path; all project metadata lives in ``pyproject.toml``.
+
+Dependency note: the packed fast path (``repro.fastpath``) uses
+``numpy.bitwise_count``, available from **NumPy >= 2.0**.  Older NumPy
+still works — ``repro.fastpath.bitops`` detects the missing ufunc and
+falls back to a per-byte lookup table (slower popcounts, identical
+results), so no hard version pin is required.
 """
 
 from setuptools import setup

@@ -13,11 +13,14 @@ Quickstart::
     print(model.score(data.test_images, data.test_labels))
 
 Subpackages: :mod:`repro.core` (the uHD contribution), :mod:`repro.hdc`
-(baseline HDC substrate), :mod:`repro.unary` (unary bit-stream computing),
-:mod:`repro.lds` (low-discrepancy sequences), :mod:`repro.hardware`
-(gate-level netlists + 45 nm energy/area model), :mod:`repro.embedded`
-(ARM-class cost model for Table I), :mod:`repro.datasets`,
-:mod:`repro.eval` (per-table experiment runners).
+(baseline HDC substrate), :mod:`repro.fastpath` (bit-packed backend:
+packed hypervectors, LUT encoding, popcount inference — bit-exact with
+the reference and selected via ``UHDConfig.backend``), :mod:`repro.unary`
+(unary bit-stream computing), :mod:`repro.lds` (low-discrepancy
+sequences), :mod:`repro.hardware` (gate-level netlists + 45 nm
+energy/area model), :mod:`repro.embedded` (ARM-class cost model for
+Table I), :mod:`repro.datasets`, :mod:`repro.eval` (per-table experiment
+runners + throughput benchmarks).
 """
 
 from .core import (
@@ -28,6 +31,7 @@ from .core import (
     masking_binarize,
 )
 from .datasets import ImageDataset, load_dataset
+from .fastpath import PackedLevelEncoder
 from .hdc import BaselineConfig, BaselineHDC
 
 __version__ = "1.0.0"
@@ -36,6 +40,7 @@ __all__ = [
     "UHDClassifier",
     "UHDConfig",
     "SobolLevelEncoder",
+    "PackedLevelEncoder",
     "UnaryDomainEncoder",
     "masking_binarize",
     "BaselineHDC",

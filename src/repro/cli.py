@@ -4,12 +4,14 @@ Usage::
 
     repro-uhd list
     repro-uhd table1
-    repro-uhd table4 --dims 1024 2048
+    repro-uhd table4 --dims 1024 2048 --backend packed
     repro-uhd fig6
     repro-uhd checkpoints
+    repro-uhd bench --out BENCH_throughput.json
 
 Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
-sizes.
+sizes; ``--backend`` switches the bit-exact compute backend (see
+:mod:`repro.fastpath`).
 """
 
 from __future__ import annotations
@@ -28,6 +30,10 @@ def _dims_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dims", type=int, nargs="+", default=[1024, 2048, 8192],
         help="hypervector dimensions to sweep",
+    )
+    parser.add_argument(
+        "--backend", choices=["auto", "packed", "reference"], default="auto",
+        help="uHD compute backend (see repro.fastpath); bit-exact either way",
     )
 
 
@@ -64,7 +70,7 @@ def _cmd_table3(_: argparse.Namespace) -> str:
 
 
 def _cmd_table4(args: argparse.Namespace) -> str:
-    rows = ex.table4_mnist_accuracy(dims=tuple(args.dims))
+    rows = ex.table4_mnist_accuracy(dims=tuple(args.dims), backend=args.backend)
     checkpoints = sorted(rows[0].baseline_by_checkpoint) if rows else []
     headers = ["D"] + [f"base i<={c}" for c in checkpoints] + [
         "uHD", "paper base i=1", "paper uHD"]
@@ -77,7 +83,7 @@ def _cmd_table4(args: argparse.Namespace) -> str:
 
 
 def _cmd_table5(args: argparse.Namespace) -> str:
-    rows = ex.table5_datasets(dims=tuple(args.dims))
+    rows = ex.table5_datasets(dims=tuple(args.dims), backend=args.backend)
     return render_table(
         ["dataset", "D", "uHD", "baseline", "paper uHD", "paper baseline"],
         [(r.dataset, r.dim, r.uhd, r.baseline, r.paper_uhd, r.paper_baseline)
@@ -88,7 +94,7 @@ def _cmd_table5(args: argparse.Namespace) -> str:
 
 def _cmd_fig6(args: argparse.Namespace) -> str:
     series = ex.fig6a_iteration_series(dim=args.dims[0])
-    uhd = ex.fig6c_uhd_series(dims=tuple(args.dims))
+    uhd = ex.fig6c_uhd_series(dims=tuple(args.dims), backend=args.backend)
     lines = [
         "Fig. 6(a) - baseline accuracy per random draw:",
         ascii_chart(series, label=f"D={args.dims[0]}"),
@@ -127,6 +133,15 @@ def _cmd_report(_: argparse.Namespace) -> str:
     return build_experiments_markdown("benchmarks/results")
 
 
+def _cmd_bench(args: argparse.Namespace) -> str:
+    from .eval.throughput import render_results, run_throughput_suite, write_bench_json
+
+    results = run_throughput_suite(dim=args.dims[0], repeats=args.repeats)
+    if args.out:
+        write_bench_json(results, args.out)
+    return render_results(results)
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -136,6 +151,7 @@ _COMMANDS = {
     "fig6": _cmd_fig6,
     "checkpoints": _cmd_checkpoints,
     "report": _cmd_report,
+    "bench": _cmd_bench,
 }
 
 
@@ -150,6 +166,15 @@ def main(argv: list[str] | None = None) -> int:
     for name in _COMMANDS:
         cmd = sub.add_parser(name, help=f"reproduce {name}")
         _dims_arg(cmd)
+        if name == "bench":
+            cmd.add_argument(
+                "--out", default=None,
+                help="write BENCH_throughput.json-style results here",
+            )
+            cmd.add_argument(
+                "--repeats", type=int, default=15,
+                help="timing repeats per benchmark (median reported)",
+            )
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available experiments:", ", ".join(sorted(_COMMANDS)))

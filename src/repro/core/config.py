@@ -7,6 +7,7 @@ from dataclasses import dataclass
 __all__ = ["UHDConfig"]
 
 _LDS_FAMILIES = ("sobol", "halton")
+_BACKENDS = ("auto", "packed", "reference")
 
 
 @dataclass(frozen=True)
@@ -38,6 +39,14 @@ class UHDConfig:
         Classifier policy — see
         :class:`repro.hdc.classifier.CentroidClassifier` for why the
         accuracy path defaults to non-binarized centroids.
+    backend:
+        Compute backend: ``"auto"`` (default; packed fast path wherever it
+        is bit-exact and supported), ``"packed"`` (force packed *encoding*,
+        raising where it cannot apply; inference additionally needs
+        ``binarize=True`` — under the default centered-cosine policy it
+        stays on the reference path, which has no packed form) or
+        ``"reference"`` (always the original elementwise NumPy path).
+        See :mod:`repro.fastpath`.
     """
 
     dim: int = 1024
@@ -47,6 +56,7 @@ class UHDConfig:
     seed: int = 2024
     digital_shift: bool = False
     binarize: bool = False
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.dim < 1:
@@ -55,6 +65,10 @@ class UHDConfig:
             raise ValueError(f"levels must be >= 2, got {self.levels}")
         if self.lds not in _LDS_FAMILIES:
             raise ValueError(f"lds must be one of {_LDS_FAMILIES}, got {self.lds!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
 
     @property
     def quantization_bits(self) -> int:

@@ -4,6 +4,10 @@ Mirrors :class:`repro.hdc.baseline.BaselineHDC` so the two models are
 drop-in comparable, with the crucial difference the paper exists for:
 training is **deterministic** — one pass, no iteration sweep, because the
 Sobol codebook is fixed by its seed.
+
+The encoder implementation follows ``config.backend`` (see
+:mod:`repro.fastpath`): by default the bit-exact packed fast path encodes,
+so swapping backends never changes a prediction.
 """
 
 from __future__ import annotations
@@ -12,7 +16,6 @@ import numpy as np
 
 from ..hdc.classifier import CentroidClassifier
 from .config import UHDConfig
-from .encoder import SobolLevelEncoder
 
 __all__ = ["UHDClassifier"]
 
@@ -23,10 +26,12 @@ class UHDClassifier:
     def __init__(
         self, num_pixels: int, num_classes: int, config: UHDConfig | None = None
     ) -> None:
+        from ..fastpath.backends import make_encoder
+
         self.config = config if config is not None else UHDConfig()
         self.num_pixels = num_pixels
         self.num_classes = num_classes
-        self.encoder = SobolLevelEncoder(num_pixels, self.config)
+        self.encoder = make_encoder(num_pixels, self.config)
         self._classifier: CentroidClassifier | None = None
 
     def _encode_images(self, images: np.ndarray) -> np.ndarray:
@@ -36,7 +41,10 @@ class UHDClassifier:
         """Single-pass training (the paper's i = 1)."""
         encoded = self._encode_images(images)
         self._classifier = CentroidClassifier(
-            self.num_classes, self.config.dim, binarize=self.config.binarize
+            self.num_classes,
+            self.config.dim,
+            binarize=self.config.binarize,
+            backend=self.config.backend,
         )
         self._classifier.fit(encoded, np.asarray(labels))
         return self

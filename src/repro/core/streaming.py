@@ -17,23 +17,33 @@ import numpy as np
 
 from ..hdc.classifier import CentroidClassifier
 from .config import UHDConfig
-from .encoder import SobolLevelEncoder
 
 __all__ = ["StreamingUHD"]
 
 
 class StreamingUHD:
-    """Online uHD classifier: encode-and-accumulate, one batch at a time."""
+    """Online uHD classifier: encode-and-accumulate, one batch at a time.
+
+    The encoder follows ``config.backend``; the packed fast path is a
+    particularly good fit here because the gather tables amortize over the
+    lifetime of the stream (the pair table self-promotes once enough
+    samples have flowed through).
+    """
 
     def __init__(
         self, num_pixels: int, num_classes: int, config: UHDConfig | None = None
     ) -> None:
+        from ..fastpath.backends import make_encoder
+
         self.config = config if config is not None else UHDConfig()
         self.num_pixels = num_pixels
         self.num_classes = num_classes
-        self.encoder = SobolLevelEncoder(num_pixels, self.config)
+        self.encoder = make_encoder(num_pixels, self.config)
         self.classifier = CentroidClassifier(
-            num_classes, self.config.dim, binarize=self.config.binarize
+            num_classes,
+            self.config.dim,
+            binarize=self.config.binarize,
+            backend=self.config.backend,
         )
         self.samples_seen = 0
 

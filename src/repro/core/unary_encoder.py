@@ -31,13 +31,14 @@ def masking_binarize(accumulator: np.ndarray, num_pixels: int) -> np.ndarray:
     The hardware counts logic-1s of the incoming level hypervector bits; a
     hardwired AND over the counter bits encoding TOB = H/2 raises the sign
     bit when the count reaches the threshold.  In the +-1 accumulator view
-    ``count = (V + H) / 2``, so the rule is ``count >= ceil(H/2)``; for the
-    tie (even H, count exactly H/2, V = 0) the AND fires and the bit is set,
-    reproducing the ties-to-+1 behaviour of :func:`repro.hdc.ops.binarize`.
+    ``count = (V + H) / 2`` and the rule is ``count >= ceil(H/2)``, which
+    is ``(H + 1) // 2`` for every parity: for the tie (even H, count
+    exactly H/2, V = 0) the AND fires and the bit is set, reproducing the
+    ties-to-+1 behaviour of :func:`repro.hdc.ops.binarize`.
     """
     accumulator = np.asarray(accumulator)
     counts = (accumulator + num_pixels) // 2
-    threshold = (num_pixels + 1) // 2 if num_pixels % 2 else num_pixels // 2
+    threshold = (num_pixels + 1) // 2
     return np.where(counts >= threshold, 1, -1).astype(np.int8)
 
 

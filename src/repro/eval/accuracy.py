@@ -53,11 +53,16 @@ def prepare_dataset(name: str, scale: RunScale | None = None, seed: int = 0) -> 
 
 
 def uhd_accuracy(data: ImageDataset, dim: int, levels: int = 16,
-                 seed: int = 2024) -> float:
-    """Single-run uHD accuracy (the paper's i = 1 column)."""
+                 seed: int = 2024, backend: str = "auto") -> float:
+    """Single-run uHD accuracy (the paper's i = 1 column).
+
+    ``backend`` selects the compute path (see :mod:`repro.fastpath`); the
+    packed path is bit-exact with the reference, so accuracies match to
+    the last digit whichever is used.
+    """
     model = UHDClassifier(
         data.num_pixels, data.num_classes,
-        UHDConfig(dim=dim, levels=levels, seed=seed),
+        UHDConfig(dim=dim, levels=levels, seed=seed, backend=backend),
     )
     model.fit(data.train_images, data.train_labels)
     return model.score(data.test_images, data.test_labels)

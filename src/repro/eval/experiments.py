@@ -253,7 +253,7 @@ _TABLE4_CHECKPOINTS = (1, 5, 20, 50, 75, 100)
 
 
 def table4_mnist_accuracy(
-    dims: tuple[int, ...] = _DEFAULT_DIMS, seed: int = 0
+    dims: tuple[int, ...] = _DEFAULT_DIMS, seed: int = 0, backend: str = "auto"
 ) -> list[Table4Row]:
     """Baseline average accuracy at iteration checkpoints vs uHD (i = 1)."""
     scale = run_scale()
@@ -265,7 +265,7 @@ def table4_mnist_accuracy(
         by_checkpoint = {
             c: float(np.mean(series[:c]) * 100.0) for c in checkpoints
         }
-        uhd = uhd_accuracy(data, dim) * 100.0
+        uhd = uhd_accuracy(data, dim, backend=backend) * 100.0
         paper = _PAPER_TABLE4.get(dim, (None, None))
         rows.append(
             Table4Row(
@@ -316,6 +316,7 @@ def table5_datasets(
     dims: tuple[int, ...] = _DEFAULT_DIMS,
     datasets: tuple[str, ...] = TABLE5_DATASETS,
     seed: int = 0,
+    backend: str = "auto",
 ) -> list[Table5Row]:
     """uHD vs baseline accuracy on the five non-MNIST datasets."""
     from .accuracy import baseline_accuracy
@@ -325,7 +326,7 @@ def table5_datasets(
     for name in datasets:
         data = prepare_dataset(name, scale, seed=seed)
         for dim in dims:
-            uhd = uhd_accuracy(data, dim) * 100.0
+            uhd = uhd_accuracy(data, dim, backend=backend) * 100.0
             base = baseline_accuracy(data, dim, seed=1) * 100.0
             paper = _PAPER_TABLE5.get((name, dim), (None, None))
             rows.append(
@@ -353,12 +354,12 @@ def fig6a_iteration_series(dim: int = 1024, seed: int = 0) -> list[float]:
 
 
 def fig6c_uhd_series(
-    dims: tuple[int, ...] = _DEFAULT_DIMS, seed: int = 0
+    dims: tuple[int, ...] = _DEFAULT_DIMS, seed: int = 0, backend: str = "auto"
 ) -> dict[int, float]:
     """uHD single-pass accuracy per dimension, percent."""
     scale = run_scale()
     data = prepare_dataset("mnist", scale, seed=seed)
-    return {dim: uhd_accuracy(data, dim) * 100.0 for dim in dims}
+    return {dim: uhd_accuracy(data, dim, backend=backend) * 100.0 for dim in dims}
 
 
 def fig6b_prior_art() -> tuple:

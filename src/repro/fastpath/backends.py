@@ -1,0 +1,91 @@
+"""Backend selection: reference NumPy path vs packed fast path.
+
+``UHDConfig.backend`` takes one of three values:
+
+* ``"reference"`` — always the original elementwise encoders/classifier.
+* ``"packed"`` — force packed *encoding*; raises where that cannot apply
+  (non-quantized, too many pixels) so a forced selection never silently
+  degrades the hot path.  Inference has no packed form for the default
+  non-binarized policy, so there even ``"packed"`` stays on the reference
+  cosine (see :func:`use_packed_inference`) — by design, not by fallback:
+  encoding is where the time goes.
+* ``"auto"`` (default) — packed wherever it is bit-exact and supported:
+  encoding when ``quantized=True`` and the pixel count fits the packed
+  counter headroom; inference when ``binarize=True``.  Everything else
+  stays on the reference path.
+
+This module is import-light on purpose (encoder imports happen inside the
+factory functions): it sits below both ``repro.core`` and ``repro.hdc`` in
+the import graph, so either can consult it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import UHDConfig
+    from ..core.encoder import SobolLevelEncoder
+
+__all__ = [
+    "BACKENDS",
+    "validate_backend",
+    "encoder_backend",
+    "make_encoder",
+    "use_packed_inference",
+]
+
+BACKENDS = ("auto", "packed", "reference")
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
+def encoder_backend(config: "UHDConfig", num_pixels: int) -> str:
+    """Resolve the encoding backend for a config, ``"packed"`` or ``"reference"``."""
+    from .encoder import PackedLevelEncoder
+
+    backend = validate_backend(config.backend)
+    if backend == "packed":
+        if not config.quantized:
+            raise ValueError(
+                "backend='packed' requires quantized=True (the packed "
+                "encoder exploits the xi-level codes)"
+            )
+        if num_pixels > PackedLevelEncoder.MAX_PIXELS:
+            raise ValueError(
+                f"backend='packed' supports up to "
+                f"{PackedLevelEncoder.MAX_PIXELS} pixels, got {num_pixels}"
+            )
+        return "packed"
+    if (
+        backend == "auto"
+        and config.quantized
+        and num_pixels <= PackedLevelEncoder.MAX_PIXELS
+    ):
+        return "packed"
+    return "reference"
+
+
+def make_encoder(num_pixels: int, config: "UHDConfig") -> "SobolLevelEncoder":
+    """The encoder implementation selected by ``config.backend``."""
+    from ..core.encoder import SobolLevelEncoder
+    from .encoder import PackedLevelEncoder
+
+    if encoder_backend(config, num_pixels) == "packed":
+        return PackedLevelEncoder(num_pixels, config)
+    return SobolLevelEncoder(num_pixels, config)
+
+
+def use_packed_inference(backend: str, binarize: bool) -> bool:
+    """Packed XOR+popcount inference applies only to the binarized policy.
+
+    The default (non-binarized) policy compares mean-centered integer
+    centroids, which has no packed representation, so ``auto`` and even an
+    explicit ``packed`` fall back to the reference cosine there — encoding
+    still runs packed, which is where the time goes.
+    """
+    return validate_backend(backend) != "reference" and binarize

@@ -1,0 +1,137 @@
+"""Packed-hypervector primitives: 64 bipolar components per machine word.
+
+A +-1 hypervector of dimension ``D`` becomes ``ceil(D / 64)`` ``uint64``
+words (+1 -> bit 1, -1 -> bit 0, little bit order: component ``i`` lives
+in word ``i // 64`` at bit ``i % 64``; pad bits beyond ``D`` are zero).
+On packed words the HDC kernels collapse to machine ops:
+
+* Hamming distance  = ``popcount(a XOR b)``
+* bipolar dot       = ``D - 2 * hamming``  (each disagreeing pair costs 2)
+
+``popcount`` uses :func:`numpy.bitwise_count` (NumPy >= 2.0) when
+available and a per-byte lookup table otherwise, so the fast path degrades
+gracefully instead of importing anything new.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HAS_BITWISE_COUNT",
+    "WORD_BITS",
+    "popcount",
+    "pack_bits",
+    "unpack_bits",
+    "pack_bipolar",
+    "unpack_bipolar",
+    "packed_hamming",
+    "packed_dot",
+]
+
+WORD_BITS = 64
+
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+_BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def _popcount_lut(words: np.ndarray) -> np.ndarray:
+    """Per-word popcount via a 256-entry byte table (pre-NumPy-2.0 path)."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    per_byte = _BYTE_POPCOUNT[words.view(np.uint8)]
+    return per_byte.reshape(words.shape + (8,)).sum(axis=-1, dtype=np.uint8)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Number of set bits per ``uint64`` word, shape-preserving, uint8."""
+    if HAS_BITWISE_COUNT:
+        return np.bitwise_count(np.asarray(words, dtype=np.uint64))
+    return _popcount_lut(words)
+
+
+def words_for_bits(n_bits: int) -> int:
+    """Words needed to hold ``n_bits`` packed bits."""
+    if n_bits < 0:
+        raise ValueError(f"n_bits must be >= 0, got {n_bits}")
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack booleans along the last axis into little-bit-order uint64 words.
+
+    ``(..., n)`` bool -> ``(..., ceil(n / 64))`` uint64; pad bits are zero,
+    so XOR/AND/popcount over packed rows never see phantom components.
+    """
+    bits = np.asarray(bits, dtype=bool)
+    n = bits.shape[-1]
+    n_words = words_for_bits(n)
+    pad = n_words * WORD_BITS - n
+    if pad:
+        bits = np.concatenate(
+            [bits, np.zeros(bits.shape[:-1] + (pad,), dtype=bool)], axis=-1
+        )
+    as_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    return np.ascontiguousarray(as_bytes).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, n_bits: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: ``(..., W)`` uint64 -> ``(..., n_bits)`` bool."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    if n_bits < 0 or n_bits > words.shape[-1] * WORD_BITS:
+        raise ValueError(f"n_bits {n_bits} out of range for {words.shape[-1]} words")
+    bits = np.unpackbits(words.view(np.uint8), axis=-1, bitorder="little")
+    return bits[..., :n_bits].astype(bool)
+
+
+def pack_bipolar(hv: np.ndarray) -> np.ndarray:
+    """Pack +-1 hypervectors (last axis) into words; +1 -> 1, -1 -> 0."""
+    hv = np.asarray(hv)
+    return pack_bits(hv > 0)
+
+
+def unpack_bipolar(words: np.ndarray, dim: int) -> np.ndarray:
+    """Packed words back to +-1 ``int8`` hypervectors of dimension ``dim``."""
+    return np.where(unpack_bits(words, dim), 1, -1).astype(np.int8)
+
+
+def _as_word_matrix(words: np.ndarray) -> np.ndarray:
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim == 1:
+        return words[None, :]
+    if words.ndim != 2:
+        raise ValueError("expected packed words of shape (W,) or (n, W)")
+    return words
+
+
+def packed_hamming(
+    queries: np.ndarray, references: np.ndarray, chunk: int = 4096
+) -> np.ndarray:
+    """Pairwise Hamming distances between packed rows, ``(n, m)`` int64.
+
+    The XOR fans out to a ``(chunk, m, W)`` word tensor; ``chunk`` bounds
+    transient memory the same way the reference encoder's batch chunk does.
+    """
+    q = _as_word_matrix(queries)
+    r = _as_word_matrix(references)
+    if q.shape[1] != r.shape[1]:
+        raise ValueError(
+            f"word-count mismatch: queries W={q.shape[1]}, references W={r.shape[1]}"
+        )
+    out = np.empty((q.shape[0], r.shape[0]), dtype=np.int64)
+    for start in range(0, q.shape[0], chunk):
+        stop = min(start + chunk, q.shape[0])
+        diff = q[start:stop, None, :] ^ r[None, :, :]
+        out[start:stop] = popcount(diff).sum(axis=-1, dtype=np.int64)
+    return out
+
+
+def packed_dot(queries: np.ndarray, references: np.ndarray, dim: int) -> np.ndarray:
+    """Pairwise bipolar inner products from packed rows, ``(n, m)`` int64.
+
+    For +-1 vectors of dimension ``dim``: agreements minus disagreements,
+    i.e. ``dim - 2 * hamming`` — bit-exact with the integer dot product.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    return dim - 2 * packed_hamming(queries, references)

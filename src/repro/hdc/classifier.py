@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..fastpath.backends import use_packed_inference, validate_backend
 from .ops import binarize
 from .similarity import classify, cosine_similarity
 
@@ -42,6 +43,14 @@ class CentroidClassifier:
     *pattern*, which matters on datasets whose per-image brightness varies
     (colour scenes).  For the baseline's bound vectors the mean is already
     ~0 and centering is a no-op, so the comparison stays fair.
+
+    Under ``binarize=True`` and ``backend != "reference"`` inference runs
+    on packed words (class HVs and queries XORed and popcounted, see
+    :mod:`repro.fastpath.inference`): predictions match the reference
+    cosine path wherever the ranking is well-defined (exact integer-dot
+    ties are decided by rounding noise in the reference and by lowest
+    class index here — see :meth:`predict`), similarity values equal up
+    to one float ulp.
     """
 
     def __init__(
@@ -50,6 +59,7 @@ class CentroidClassifier:
         dim: int,
         binarize: bool = False,
         center: bool = True,
+        backend: str = "auto",
     ) -> None:
         if num_classes < 2 or dim < 1:
             raise ValueError("num_classes must be >= 2 and dim >= 1")
@@ -57,8 +67,10 @@ class CentroidClassifier:
         self.dim = dim
         self.binarize = binarize
         self.center = center
+        self.backend = validate_backend(backend)
         self._accumulators = np.zeros((num_classes, dim), dtype=np.int64)
         self._fitted = False
+        self._packed_classes: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Training
@@ -78,6 +90,7 @@ class CentroidClassifier:
             if mask.any():
                 self._accumulators[cls] += encoded[mask].sum(axis=0, dtype=np.int64)
         self._fitted = True
+        self._packed_classes = None
         return self
 
     def retrain(
@@ -104,6 +117,7 @@ class CentroidClassifier:
                 self._accumulators[labels[idx]] += encoded[idx]
                 self._accumulators[predictions[idx]] -= encoded[idx]
             corrections += int(wrong.size)
+            self._packed_classes = None
         return corrections
 
     # ------------------------------------------------------------------
@@ -122,15 +136,34 @@ class CentroidClassifier:
         view.setflags(write=False)
         return view
 
+    def _packed_class_words(self) -> np.ndarray:
+        """Packed binarized class HVs, rebuilt lazily after any mutation."""
+        from ..fastpath.inference import pack_accumulators
+
+        if self._packed_classes is None:
+            self._packed_classes = pack_accumulators(self._accumulators)
+        return self._packed_classes
+
+    def _use_packed(self) -> bool:
+        return use_packed_inference(self.backend, self.binarize)
+
     def similarities(self, encoded: np.ndarray) -> np.ndarray:
         """Cosine similarity of queries to every class representative.
 
         Under ``binarize=True`` both sides are sign-binarized first; under
         the default policy the integer accumulators are compared directly.
+        The packed backend computes the binarized cosine as ``dot / D``
+        (equal to the reference value up to one float ulp).
         """
         self._require_fitted()
         queries = np.atleast_2d(np.asarray(encoded))
         if self.binarize:
+            if self._use_packed():
+                from ..fastpath.inference import pack_accumulators, packed_cosine
+
+                return packed_cosine(
+                    pack_accumulators(queries), self._packed_class_words(), self.dim
+                )
             return cosine_similarity(binarize(queries), self.class_hypervectors)
         if self.center:
             queries = queries - queries.mean(axis=1, keepdims=True)
@@ -140,7 +173,22 @@ class CentroidClassifier:
         return cosine_similarity(queries, self._accumulators)
 
     def predict(self, encoded: np.ndarray) -> np.ndarray:
-        """Winner-take-all class labels for a batch of encoded vectors."""
+        """Winner-take-all class labels for a batch of encoded vectors.
+
+        Identical labels on every backend wherever the ranking is
+        well-defined: the packed path ranks by the integer dot product, a
+        monotone transform of the binarized cosine.  Where two classes sit
+        at *exactly* the same integer dot the ranking has no answer — the
+        reference argmax then follows float rounding noise in the cosines
+        (which varies with BLAS blocking, i.e. with the batch shape), while
+        the packed path deterministically picks the lowest class index.
+        """
+        if self._use_packed():
+            self._require_fitted()
+            from ..fastpath.inference import packed_predict
+
+            queries = np.atleast_2d(np.asarray(encoded))
+            return packed_predict(queries, self._packed_class_words(), self.dim)
         return classify(self.similarities(encoded))
 
     def score(self, encoded: np.ndarray, labels: np.ndarray) -> float:

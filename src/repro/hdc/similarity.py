@@ -56,14 +56,30 @@ def dot_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
     return q @ r.T
 
 
+def _is_bipolar(x: np.ndarray) -> bool:
+    return x.dtype.kind in ("i", "u", "f") and (np.abs(x) == 1).all()
+
+
 def hamming_similarity(queries: np.ndarray, references: np.ndarray) -> np.ndarray:
-    """Fraction of agreeing positions between +-1 hypervectors, in [0, 1]."""
+    """Fraction of agreeing positions between +-1 hypervectors, in [0, 1].
+
+    For +-1 inputs ``agreements = (D + q @ r.T) / 2`` (each agreeing pair
+    contributes +1 to the dot, each disagreeing pair -1), so the kernel is
+    a single integer matmul instead of an ``(n_queries, n_refs, D)``
+    broadcast tensor.  Non-+-1 inputs (arbitrary symbols) fall back to the
+    elementwise comparison.
+    """
     q = _as_matrix(queries)
     r = _as_matrix(references)
     if q.shape[1] != r.shape[1]:
         raise ValueError("dimension mismatch between queries and references")
-    agreements = (q[:, None, :] == r[None, :, :]).sum(axis=2)
-    return agreements / q.shape[1]
+    dim = q.shape[1]
+    if dim and q.size and r.size and _is_bipolar(q) and _is_bipolar(r):
+        dots = q.astype(np.int64) @ r.astype(np.int64).T
+        agreements = (dim + dots) // 2
+    else:
+        agreements = (q[:, None, :] == r[None, :, :]).sum(axis=2)
+    return agreements / dim
 
 
 def classify(similarities: np.ndarray) -> np.ndarray:

@@ -48,11 +48,40 @@ import numpy as np
 
 from . import gf2
 
-__all__ = ["SobolEngine", "sobol_sequences"]
+__all__ = ["SobolEngine", "sobol_sequences", "clear_sobol_cache"]
 
 _DEFAULT_SEED = 2024
 _INIT_POLICIES = ("random", "recurrence")
 _ORDERS = ("natural", "gray")
+
+# Keyed memo for sobol_sequences: the arithmetic and unary encoders (and
+# now the packed fast path) all regenerate identical tables for the same
+# (pixels, dim, seed, shift) tuple, and generation dominates encoder
+# construction.  Entries are read-only so shared tables cannot be
+# corrupted through one consumer; a small LRU bound keeps dimension sweeps
+# (1K/2K/8K x several datasets) from pinning hundreds of MB.
+_SEQUENCE_CACHE: dict[tuple, np.ndarray] = {}
+_SEQUENCE_CACHE_MAX = 8
+
+
+def clear_sobol_cache() -> None:
+    """Drop all memoized sobol_sequences tables (mainly for tests)."""
+    _SEQUENCE_CACHE.clear()
+
+
+def _cache_get(key: tuple) -> Optional[np.ndarray]:
+    value = _SEQUENCE_CACHE.pop(key, None)
+    if value is not None:
+        _SEQUENCE_CACHE[key] = value  # refresh LRU position
+    return value
+
+
+def _cache_put(key: tuple, value: np.ndarray) -> np.ndarray:
+    value.setflags(write=False)
+    _SEQUENCE_CACHE[key] = value
+    while len(_SEQUENCE_CACHE) > _SEQUENCE_CACHE_MAX:
+        _SEQUENCE_CACHE.pop(next(iter(_SEQUENCE_CACHE)))
+    return value
 
 
 def _random_direction_integers(rng: np.random.Generator, max_bits: int) -> np.ndarray:
@@ -220,9 +249,25 @@ def sobol_sequences(
     Row ``p`` holds the ``length`` quasi-random scalars ``S_p`` that uHD
     compares against pixel ``p``'s intensity (Fig. 2).  ``dtype`` defaults
     to float64; pass ``np.float32`` to halve memory for large ``D``.
+
+    Results are memoized on ``(n_dims, length, seed, dtype, init,
+    digital_shift)`` and returned **read-only**: constructing several
+    encoders for the same config generates the table once.  Copy before
+    mutating.
     """
-    engine = SobolEngine(n_dims, seed=seed, init=init, digital_shift=digital_shift)
-    points = engine.random(length).T  # (n_dims, length)
-    if dtype is not None:
-        points = points.astype(dtype)
-    return np.ascontiguousarray(points)
+    master_key = (n_dims, length, seed, init, digital_shift)
+    master = _cache_get(master_key)
+    if master is None:
+        engine = SobolEngine(
+            n_dims, seed=seed, init=init, digital_shift=digital_shift
+        )
+        master = _cache_put(
+            master_key, np.ascontiguousarray(engine.random(length).T)
+        )
+    if dtype is None or np.dtype(dtype) == master.dtype:
+        return master
+    cast_key = master_key + (np.dtype(dtype).str,)
+    cast = _cache_get(cast_key)
+    if cast is None:
+        cast = _cache_put(cast_key, master.astype(dtype))
+    return cast

@@ -61,23 +61,36 @@ class TestValidation:
 
 
 class TestMaskingBinarize:
-    def test_matches_sign_rule_even_h(self):
-        h = 10
+    @pytest.mark.parametrize("h", [1, 2, 3, 8, 9, 10, 784, 785])
+    def test_matches_sign_rule_all_parities(self, h):
+        # every reachable accumulator value (V = 2*count - H)
         accumulators = np.arange(-h, h + 1, 2)
         np.testing.assert_array_equal(
             masking_binarize(accumulators, h), binarize(accumulators)
         )
 
-    def test_matches_sign_rule_odd_h(self):
-        h = 9
-        accumulators = np.arange(-h, h + 1, 2)
-        np.testing.assert_array_equal(
-            masking_binarize(accumulators, h), binarize(accumulators)
-        )
+    @pytest.mark.parametrize("h", [2, 8, 100])
+    def test_tie_sets_sign_even_h(self, h):
+        # V = 0 means popcount exactly H/2: the masking AND fires (ties -> +1).
+        assert masking_binarize(np.array([0]), h)[0] == 1
 
-    def test_tie_sets_sign(self):
-        # V = 0 means popcount exactly H/2: the masking AND fires.
-        assert masking_binarize(np.array([0]), 8)[0] == 1
+    @pytest.mark.parametrize("h", [1, 9, 101])
+    def test_odd_h_has_no_tie(self, h):
+        # odd H cannot reach V = 0; the nearest values straddle the threshold
+        assert masking_binarize(np.array([1]), h)[0] == 1
+        assert masking_binarize(np.array([-1]), h)[0] == -1
+
+    @pytest.mark.parametrize("h", [1, 2, 9, 10, 784])
+    def test_collapsed_threshold_equals_branchy_rule(self, h):
+        # the old implementation special-cased parity; both reduce to
+        # ceil(H/2) = (H + 1) // 2
+        legacy = (h + 1) // 2 if h % 2 else h // 2
+        assert legacy == (h + 1) // 2
+        counts = (np.arange(-h, h + 1, 2) + h) // 2
+        np.testing.assert_array_equal(
+            masking_binarize(np.arange(-h, h + 1, 2), h),
+            np.where(counts >= legacy, 1, -1),
+        )
 
     def test_encode_binarized(self):
         config = UHDConfig(dim=32)

@@ -1,0 +1,91 @@
+"""Packed-word primitives: packing round-trips and popcount kernels."""
+
+import numpy as np
+import pytest
+
+from repro.fastpath import bitops
+from repro.fastpath.bitops import (
+    pack_bipolar,
+    pack_bits,
+    packed_dot,
+    packed_hamming,
+    popcount,
+    unpack_bipolar,
+    unpack_bits,
+    words_for_bits,
+)
+
+
+class TestPacking:
+    @pytest.mark.parametrize("n", [1, 7, 63, 64, 65, 100, 127, 128, 1024])
+    def test_roundtrip(self, n, rng):
+        bits = rng.random((3, n)) < 0.5
+        words = pack_bits(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (3, words_for_bits(n))
+        np.testing.assert_array_equal(unpack_bits(words, n), bits)
+
+    def test_pad_bits_are_zero(self, rng):
+        bits = np.ones((2, 65), dtype=bool)
+        words = pack_bits(bits)
+        # bit 64 set in word 1, bits 65..127 clear
+        assert int(words[0, 1]) == 1
+
+    def test_little_bit_order(self):
+        bits = np.zeros(64, dtype=bool)
+        bits[3] = True
+        assert int(pack_bits(bits)[0]) == 8
+
+    def test_bipolar_roundtrip(self, rng):
+        hv = np.where(rng.random((4, 70)) < 0.5, 1, -1).astype(np.int8)
+        np.testing.assert_array_equal(unpack_bipolar(pack_bipolar(hv), 70), hv)
+
+
+class TestPopcount:
+    def test_matches_python_bin(self, rng):
+        words = rng.integers(0, 2**63, size=(5, 7), dtype=np.uint64)
+        expected = np.vectorize(lambda w: bin(int(w)).count("1"))(words)
+        np.testing.assert_array_equal(popcount(words), expected)
+
+    def test_lut_fallback_matches_fast_path(self, rng):
+        """The pre-NumPy-2.0 byte-table path must agree with bitwise_count."""
+        words = rng.integers(0, 2**63, size=(3, 11), dtype=np.uint64)
+        words[0, 0] = 0
+        words[0, 1] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        np.testing.assert_array_equal(bitops._popcount_lut(words), popcount(words))
+
+
+class TestKernels:
+    @pytest.mark.parametrize("dim", [8, 64, 100, 129])
+    def test_hamming_matches_elementwise(self, dim, rng):
+        q = np.where(rng.random((6, dim)) < 0.5, 1, -1)
+        r = np.where(rng.random((4, dim)) < 0.5, 1, -1)
+        expected = (q[:, None, :] != r[None, :, :]).sum(axis=2)
+        got = packed_hamming(pack_bipolar(q), pack_bipolar(r))
+        np.testing.assert_array_equal(got, expected)
+
+    @pytest.mark.parametrize("dim", [8, 64, 100, 129])
+    def test_dot_matches_integer_matmul(self, dim, rng):
+        q = np.where(rng.random((6, dim)) < 0.5, 1, -1).astype(np.int64)
+        r = np.where(rng.random((4, dim)) < 0.5, 1, -1).astype(np.int64)
+        got = packed_dot(pack_bipolar(q), pack_bipolar(r), dim)
+        np.testing.assert_array_equal(got, q @ r.T)
+
+    def test_hamming_chunking_invariant(self, rng):
+        q = np.where(rng.random((10, 64)) < 0.5, 1, -1)
+        qw = pack_bipolar(q)
+        np.testing.assert_array_equal(
+            packed_hamming(qw, qw, chunk=3), packed_hamming(qw, qw)
+        )
+
+    def test_word_count_mismatch_raises(self):
+        with pytest.raises(ValueError, match="word-count"):
+            packed_hamming(
+                np.zeros((1, 2), dtype=np.uint64), np.zeros((1, 3), dtype=np.uint64)
+            )
+
+    def test_vector_inputs_promote_to_matrix(self):
+        a = pack_bipolar(np.array([1, -1, 1, -1]))
+        assert a.shape == (1,)  # 1D hypervector -> 1D words
+        assert packed_hamming(a, a).shape == (1, 1)
+        assert packed_hamming(a, a)[0, 0] == 0

@@ -103,3 +103,38 @@ class TestClassify:
     def test_rejects_vector(self):
         with pytest.raises(ValueError):
             classify(np.array([0.1, 0.9]))
+
+
+class TestHammingMatmulRegression:
+    """The matmul fast path must equal the old broadcast implementation."""
+
+    @staticmethod
+    def _legacy(q, r):
+        q = np.atleast_2d(np.asarray(q))
+        r = np.atleast_2d(np.asarray(r))
+        agreements = (q[:, None, :] == r[None, :, :]).sum(axis=2)
+        return agreements / q.shape[1]
+
+    @pytest.mark.parametrize("dim", [1, 5, 64, 127])
+    def test_bipolar_matches_legacy(self, dim):
+        rng = np.random.default_rng(17)
+        q = random_hypervectors(7, dim, rng)
+        r = random_hypervectors(4, dim, rng)
+        np.testing.assert_array_equal(hamming_similarity(q, r), self._legacy(q, r))
+
+    def test_float_bipolar_matches_legacy(self):
+        rng = np.random.default_rng(18)
+        q = random_hypervectors(3, 32, rng).astype(np.float64)
+        r = random_hypervectors(2, 32, rng).astype(np.float64)
+        np.testing.assert_array_equal(hamming_similarity(q, r), self._legacy(q, r))
+
+    def test_non_bipolar_falls_back(self):
+        q = np.array([[0, 1, 2, 3]])
+        r = np.array([[0, 1, 2, 4], [3, 2, 1, 0]])
+        np.testing.assert_array_equal(hamming_similarity(q, r), self._legacy(q, r))
+        assert hamming_similarity(q, r)[0, 0] == pytest.approx(0.75)
+
+    def test_identical_and_opposite_extremes(self):
+        hv = random_hypervectors(1, 100, np.random.default_rng(19))
+        assert hamming_similarity(hv, hv)[0, 0] == pytest.approx(1.0)
+        assert hamming_similarity(hv, -hv)[0, 0] == pytest.approx(0.0)

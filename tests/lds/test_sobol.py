@@ -134,3 +134,70 @@ class TestSobolSequences:
         seqs = sobol_sequences(20, 128)
         assert seqs.min() >= 0.0
         assert seqs.max() < 1.0
+
+
+class TestSequenceMemo:
+    """sobol_sequences memoizes generation per (dims, length, seed, shift)."""
+
+    def test_same_key_returns_same_object(self):
+        from repro.lds.sobol import clear_sobol_cache
+
+        clear_sobol_cache()
+        a = sobol_sequences(8, 32, seed=3)
+        b = sobol_sequences(8, 32, seed=3)
+        assert a is b
+
+    def test_dtype_variants_share_one_generation(self):
+        from repro.lds.sobol import clear_sobol_cache
+
+        clear_sobol_cache()
+        master = sobol_sequences(8, 32, seed=3)
+        cast = sobol_sequences(8, 32, seed=3, dtype=np.float32)
+        assert cast.dtype == np.float32
+        np.testing.assert_array_equal(cast, master.astype(np.float32))
+        assert sobol_sequences(8, 32, seed=3, dtype=np.float32) is cast
+
+    def test_distinct_keys_distinct_tables(self):
+        assert not np.array_equal(
+            sobol_sequences(8, 32, seed=3), sobol_sequences(8, 32, seed=4)
+        )
+        assert not np.array_equal(
+            sobol_sequences(8, 32, seed=3),
+            sobol_sequences(8, 32, seed=3, digital_shift=True),
+        )
+
+    def test_results_are_read_only(self):
+        seqs = sobol_sequences(8, 32, seed=3)
+        with pytest.raises(ValueError):
+            seqs[0, 0] = 0.5
+
+    def test_cache_is_bounded(self):
+        from repro.lds import sobol as sobol_module
+
+        sobol_module.clear_sobol_cache()
+        for seed in range(2 * sobol_module._SEQUENCE_CACHE_MAX):
+            sobol_sequences(4, 8, seed=seed)
+        assert len(sobol_module._SEQUENCE_CACHE) <= sobol_module._SEQUENCE_CACHE_MAX
+
+    def test_encoders_share_generation(self):
+        """Arithmetic + unary encoders for one config generate once."""
+        from repro.core import SobolLevelEncoder, UnaryDomainEncoder, UHDConfig
+        from repro.lds import sobol as sobol_module
+
+        sobol_module.clear_sobol_cache()
+        config = UHDConfig(dim=16, seed=77)
+        calls = {"n": 0}
+        original = sobol_module.SobolEngine
+
+        class CountingEngine(original):
+            def __init__(self, *args, **kwargs):
+                calls["n"] += 1
+                super().__init__(*args, **kwargs)
+
+        sobol_module.SobolEngine = CountingEngine
+        try:
+            SobolLevelEncoder(6, config)
+            UnaryDomainEncoder(6, config)
+        finally:
+            sobol_module.SobolEngine = original
+        assert calls["n"] == 1

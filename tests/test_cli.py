@@ -41,3 +41,22 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["tableX"])
+
+    def test_bench_writes_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--dims", "64", "--repeats", "2",
+                     "--out", str(out_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "uhd_encode_packed" in printed
+        results = json.loads(out_path.read_text())
+        names = [b["name"] for b in results["benchmarks"]]
+        assert "uhd_encode_reference" in names
+        packed = next(b for b in results["benchmarks"]
+                      if b["name"] == "uhd_encode_packed")
+        assert packed["speedup_vs_reference"] > 0
+
+    def test_backend_flag_accepted(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table4", "--backend", "gpu"])
