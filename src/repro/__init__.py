@@ -12,40 +12,66 @@ Quickstart::
     model.fit(data.train_images, data.train_labels)
     print(model.score(data.test_images, data.test_labels))
 
-Subpackages: :mod:`repro.core` (the uHD contribution), :mod:`repro.hdc`
-(baseline HDC substrate), :mod:`repro.fastpath` (bit-packed backend:
-packed hypervectors, LUT encoding, popcount inference — bit-exact with
-the reference and selected via ``UHDConfig.backend``), :mod:`repro.unary`
-(unary bit-stream computing), :mod:`repro.lds` (low-discrepancy
-sequences), :mod:`repro.hardware` (gate-level netlists + 45 nm
-energy/area model), :mod:`repro.embedded` (ARM-class cost model for
-Table I), :mod:`repro.datasets`, :mod:`repro.eval` (per-table experiment
-runners + throughput benchmarks).
+Subpackages: :mod:`repro.api` (the stable public surface: Estimator
+protocol, named backend registry, versioned model persistence),
+:mod:`repro.core` (the uHD contribution), :mod:`repro.hdc`
+(baseline HDC substrate), :mod:`repro.fastpath` (bit-packed and threaded
+backends: packed hypervectors, LUT encoding, popcount inference —
+bit-exact with the reference and selected via ``UHDConfig.backend``
+through the registry), :mod:`repro.unary` (unary bit-stream computing),
+:mod:`repro.lds` (low-discrepancy sequences), :mod:`repro.hardware`
+(gate-level netlists + 45 nm energy/area model), :mod:`repro.embedded`
+(ARM-class cost model for Table I), :mod:`repro.datasets`,
+:mod:`repro.eval` (per-table experiment runners + throughput benchmarks).
 """
 
+from . import api
+from .api import (
+    Backend,
+    Estimator,
+    ModelFormatError,
+    get_backend,
+    list_backends,
+    load_model,
+    register_backend,
+    save_model,
+)
 from .core import (
     SobolLevelEncoder,
+    StreamingUHD,
     UHDClassifier,
     UHDConfig,
     UnaryDomainEncoder,
     masking_binarize,
 )
 from .datasets import ImageDataset, load_dataset
-from .fastpath import PackedLevelEncoder
-from .hdc import BaselineConfig, BaselineHDC
+from .fastpath import PackedLevelEncoder, ThreadedLevelEncoder
+from .hdc import BaselineConfig, BaselineHDC, CentroidClassifier
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Backend",
+    "BaselineConfig",
+    "BaselineHDC",
+    "CentroidClassifier",
+    "Estimator",
+    "ImageDataset",
+    "ModelFormatError",
+    "PackedLevelEncoder",
+    "SobolLevelEncoder",
+    "StreamingUHD",
+    "ThreadedLevelEncoder",
     "UHDClassifier",
     "UHDConfig",
-    "SobolLevelEncoder",
-    "PackedLevelEncoder",
     "UnaryDomainEncoder",
-    "masking_binarize",
-    "BaselineHDC",
-    "BaselineConfig",
-    "ImageDataset",
+    "api",
+    "get_backend",
+    "list_backends",
     "load_dataset",
+    "load_model",
+    "masking_binarize",
+    "register_backend",
+    "save_model",
     "__version__",
 ]

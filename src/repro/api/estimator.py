@@ -1,0 +1,57 @@
+"""The public estimator contract every trainable model in repro satisfies.
+
+``Estimator`` is a structural (duck-typed) protocol, not a base class:
+:class:`repro.core.model.UHDClassifier`,
+:class:`repro.core.streaming.StreamingUHD`,
+:class:`repro.hdc.baseline.BaselineHDC` and
+:class:`repro.hdc.classifier.CentroidClassifier` all satisfy it without
+inheriting anything, and so can any third-party model.  A serving layer
+can therefore hold ``Estimator`` references and stay ignorant of which
+concrete model (or which execution backend) is behind them.
+
+The contract is deliberately tiny — uHD's single-iteration training means
+a fitted model is fully described by its config plus one integer array of
+class accumulators, so ``save``/``load`` (see
+:mod:`repro.api.persistence`) round-trip bit-exactly and a worker process
+can go from cold start to serving without ever seeing training data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Estimator"]
+
+
+@runtime_checkable
+class Estimator(Protocol):
+    """fit / predict / score / save / load — the serving-layer contract.
+
+    ``X`` is whatever raw input the concrete model encodes (images for
+    the image classifiers, pre-encoded hypervectors for
+    :class:`~repro.hdc.classifier.CentroidClassifier`); ``y`` is a 1-D
+    integer label array aligned with ``X``.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator":
+        """Train on a labelled batch and return self."""
+        ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Winner-take-all class labels for a batch."""
+        ...
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy in ``[0, 1]`` on a labelled batch."""
+        ...
+
+    def save(self, path: Any) -> None:
+        """Persist config + trained state (versioned ``.npz``, bit-exact)."""
+        ...
+
+    @classmethod
+    def load(cls, path: Any) -> "Estimator":
+        """Rebuild a fitted model from :meth:`save` output without retraining."""
+        ...

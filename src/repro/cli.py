@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any table or figure by ID.
+"""Command-line interface: regenerate tables/figures, and model lifecycle.
 
 Usage::
 
@@ -8,17 +8,26 @@ Usage::
     repro-uhd fig6
     repro-uhd checkpoints
     repro-uhd bench --out BENCH_throughput.json
+    repro-uhd save --out model.npz --dataset mnist --dim 2048 --backend threaded
+    repro-uhd load --model model.npz --dataset mnist
+    repro-uhd serve-check --model model.npz --batch 64
 
 Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
-sizes; ``--backend`` switches the bit-exact compute backend (see
-:mod:`repro.fastpath`).
+sizes; ``--backend`` accepts any backend registered with
+:func:`repro.api.register_backend` (bit-exact built-ins: auto, packed,
+threaded, reference).  ``save``/``load`` round-trip trained models through
+the versioned :mod:`repro.api.persistence` format; ``serve-check`` is the
+serving-readiness probe — it loads a warm model (no retraining) and
+reports prediction latency.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
+from .api import list_backends
 from .eval import experiments as ex
 from .eval.figures import ascii_chart
 from .eval.tables import render_table
@@ -31,9 +40,13 @@ def _dims_arg(parser: argparse.ArgumentParser) -> None:
         "--dims", type=int, nargs="+", default=[1024, 2048, 8192],
         help="hypervector dimensions to sweep",
     )
+    _backend_arg(parser)
+
+
+def _backend_arg(parser: argparse.ArgumentParser, default: str | None = "auto") -> None:
     parser.add_argument(
-        "--backend", choices=["auto", "packed", "reference"], default="auto",
-        help="uHD compute backend (see repro.fastpath); bit-exact either way",
+        "--backend", choices=sorted(list_backends()), default=default,
+        help="execution backend from the repro.api registry; bit-exact either way",
     )
 
 
@@ -142,6 +155,126 @@ def _cmd_bench(args: argparse.Namespace) -> str:
     return render_results(results)
 
 
+# ----------------------------------------------------------------------
+# Model lifecycle: save / load / serve-check (the repro.api surface)
+# ----------------------------------------------------------------------
+def _load_split(name: str, n_train: int, n_test: int, seed: int):
+    from .datasets import load_dataset
+
+    return load_dataset(name, n_train=n_train, n_test=n_test, seed=seed).grayscale()
+
+
+def _cmd_save(args: argparse.Namespace) -> str:
+    from .core.config import UHDConfig
+    from .core.model import UHDClassifier
+
+    data = _load_split(args.dataset, args.n_train, args.n_test, args.seed)
+    config = UHDConfig(dim=args.dim, backend=args.backend)
+    model = UHDClassifier(data.num_pixels, data.num_classes, config)
+    start = time.perf_counter()
+    model.fit(data.train_images, data.train_labels)
+    fit_s = time.perf_counter() - start
+    accuracy = model.score(data.test_images, data.test_labels)
+    model.save(args.out)
+    return (
+        f"trained UHDClassifier on {args.dataset} "
+        f"(n={data.train_images.shape[0]}, D={args.dim}, "
+        f"backend={args.backend}) in {fit_s:.2f}s; "
+        f"test accuracy {accuracy * 100.0:.2f}%\n"
+        f"saved model to {args.out}"
+    )
+
+
+def _cmd_load(args: argparse.Namespace) -> str:
+    from .core.model import UHDClassifier
+
+    model = UHDClassifier.load(args.model)
+    if args.backend is not None and args.backend != model.config.backend:
+        model = model.with_backend(args.backend)
+    data = _load_split(args.dataset, args.n_train, args.n_test, args.seed)
+    accuracy = model.score(data.test_images, data.test_labels)
+    return (
+        f"loaded UHDClassifier from {args.model} "
+        f"(D={model.config.dim}, levels={model.config.levels}, "
+        f"backend={model.config.backend}, classes={model.num_classes}) "
+        "without retraining\n"
+        f"test accuracy on {args.dataset}: {accuracy * 100.0:.2f}%"
+    )
+
+
+def _cmd_serve_check(args: argparse.Namespace) -> str:
+    """Serving-readiness probe: warm-load a model and time its predictions."""
+    import numpy as np
+
+    from .core.model import UHDClassifier
+
+    model = UHDClassifier.load(args.model)
+    if args.backend is not None and args.backend != model.config.backend:
+        model = model.with_backend(args.backend)
+    rng = np.random.default_rng(args.seed)
+    images = rng.integers(
+        0, 256, size=(args.batch, model.num_pixels), dtype=np.uint8
+    )
+    first = model.predict(images)  # warm gather tables / packed class words
+    if not np.array_equal(first, model.predict(images)):
+        raise AssertionError("predictions are not deterministic on repeat calls")
+    timings = []
+    for _ in range(args.repeats):
+        start = time.perf_counter()
+        model.predict(images)
+        timings.append(time.perf_counter() - start)
+    median = float(np.median(timings))
+    return (
+        f"serve-check OK: {args.model} "
+        f"(D={model.config.dim}, backend={model.config.backend})\n"
+        f"  loaded warm (no retraining), predictions deterministic\n"
+        f"  batch={args.batch}: median {median * 1e3:.3f} ms "
+        f"({args.batch / median:.0f} images/s over {args.repeats} repeats)"
+    )
+
+
+def _model_io_args(parser: argparse.ArgumentParser, needs_model: bool) -> None:
+    if needs_model:
+        parser.add_argument("--model", required=True, help="saved model (.npz) path")
+    parser.add_argument(
+        "--dataset", default="mnist",
+        help="dataset name (see repro.datasets; synthetic fallback, no network)",
+    )
+    parser.add_argument("--n-train", type=int, default=2000,
+                        help="training samples")
+    parser.add_argument("--n-test", type=int, default=500, help="test samples")
+    parser.add_argument("--seed", type=int, default=0, help="data/query seed")
+
+
+def _configure_save(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", required=True, help="output model (.npz) path")
+    parser.add_argument("--dim", type=int, default=1024,
+                        help="hypervector dimension D")
+    _model_io_args(parser, needs_model=False)
+    _backend_arg(parser)
+
+
+def _configure_load(parser: argparse.ArgumentParser) -> None:
+    _model_io_args(parser, needs_model=True)
+    _backend_arg(parser, default=None)
+
+
+def _configure_serve_check(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, help="saved model (.npz) path")
+    parser.add_argument("--batch", type=int, default=64,
+                        help="images per timed predict call")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="timed predict calls (median reported)")
+    parser.add_argument("--seed", type=int, default=0, help="query seed")
+    _backend_arg(parser, default=None)
+
+
+_MODEL_COMMANDS = {
+    "save": (_cmd_save, _configure_save),
+    "load": (_cmd_load, _configure_load),
+    "serve-check": (_cmd_serve_check, _configure_serve_check),
+}
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
@@ -175,9 +308,15 @@ def main(argv: list[str] | None = None) -> int:
                 "--repeats", type=int, default=15,
                 help="timing repeats per benchmark (median reported)",
             )
+    for name, (_, configure) in _MODEL_COMMANDS.items():
+        configure(sub.add_parser(name, help=f"model lifecycle: {name}"))
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
         print("available experiments:", ", ".join(sorted(_COMMANDS)))
+        print("model lifecycle:", ", ".join(sorted(_MODEL_COMMANDS)))
+        return 0
+    if args.command in _MODEL_COMMANDS:
+        print(_MODEL_COMMANDS[args.command][0](args))
         return 0
     print(_COMMANDS[args.command](args))
     return 0

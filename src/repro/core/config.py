@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+
+from ..api.registry import is_registered_backend, list_backends
 
 __all__ = ["UHDConfig"]
 
 _LDS_FAMILIES = ("sobol", "halton")
-_BACKENDS = ("auto", "packed", "reference")
 
 
 @dataclass(frozen=True)
@@ -21,6 +23,8 @@ class UHDConfig:
     levels:
         Quantization levels xi for intensities and Sobol scalars
         (Fig. 3(a); xi = 16 -> M = 4-bit storage, N = 16-bit unary streams).
+        The paper uses powers of two; other values are accepted (and warn)
+        — see :attr:`quantization_bits` for how M rounds up then.
     quantized:
         When true (paper default) comparisons happen between M-bit codes —
         the arithmetic twin of the unary-domain datapath.  When false the
@@ -40,13 +44,15 @@ class UHDConfig:
         :class:`repro.hdc.classifier.CentroidClassifier` for why the
         accuracy path defaults to non-binarized centroids.
     backend:
-        Compute backend: ``"auto"`` (default; packed fast path wherever it
-        is bit-exact and supported), ``"packed"`` (force packed *encoding*,
-        raising where it cannot apply; inference additionally needs
-        ``binarize=True`` — under the default centered-cosine policy it
-        stays on the reference path, which has no packed form) or
-        ``"reference"`` (always the original elementwise NumPy path).
-        See :mod:`repro.fastpath`.
+        Execution backend, validated against the :mod:`repro.api` backend
+        registry.  Built-ins: ``"auto"`` (default; packed fast path
+        wherever it is bit-exact and supported), ``"packed"`` (force
+        packed *encoding*, raising where it cannot apply; inference
+        additionally needs ``binarize=True``), ``"threaded"`` (packed
+        kernels sharded over a thread pool, bit-exact with ``"packed"``)
+        and ``"reference"`` (always the original elementwise NumPy path).
+        Third-party backends registered via
+        :func:`repro.api.register_backend` are accepted by name.
     """
 
     dim: int = 1024
@@ -65,17 +71,40 @@ class UHDConfig:
             raise ValueError(f"levels must be >= 2, got {self.levels}")
         if self.lds not in _LDS_FAMILIES:
             raise ValueError(f"lds must be one of {_LDS_FAMILIES}, got {self.lds!r}")
-        if self.backend not in _BACKENDS:
+        if not is_registered_backend(self.backend):
             raise ValueError(
-                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+                f"backend must be a registered backend name "
+                f"{list_backends()}, got {self.backend!r} "
+                "(third-party backends: repro.api.register_backend)"
+            )
+        if self.levels & (self.levels - 1):
+            warnings.warn(
+                f"levels={self.levels} is not a power of two: the stored "
+                f"scalar width rounds up to M={self.quantization_bits} bits "
+                f"(covering {1 << self.quantization_bits} codes, of which "
+                f"only {self.levels} occur), while the unary stream length "
+                f"stays N={self.stream_length}; accuracy is unaffected but "
+                "the Fig. 3(a) memory model assumes M = log2(levels) exactly",
+                UserWarning,
+                stacklevel=2,
             )
 
     @property
     def quantization_bits(self) -> int:
-        """M = log2(xi), the stored scalar width of Fig. 3(a)."""
+        """M, the stored scalar width of Fig. 3(a): ``ceil(log2(levels))``.
+
+        Equal to ``log2(levels)`` for the paper's power-of-two ``xi``;
+        for other ``levels`` values M **rounds up** to the next integer
+        bit width (e.g. ``levels=20 -> M=5``), so ``2**M`` can exceed the
+        number of codes actually produced.
+        """
         return int(self.levels - 1).bit_length()
 
     @property
     def stream_length(self) -> int:
-        """N, the unary bit-stream length (= xi in the paper)."""
+        """N, the unary bit-stream length — exactly ``levels`` (= xi).
+
+        Unlike :attr:`quantization_bits` this does **not** round to a
+        power of two: one unary slot exists per quantization level.
+        """
         return self.levels

@@ -5,15 +5,23 @@ drop-in comparable, with the crucial difference the paper exists for:
 training is **deterministic** — one pass, no iteration sweep, because the
 Sobol codebook is fixed by its seed.
 
-The encoder implementation follows ``config.backend`` (see
-:mod:`repro.fastpath`): by default the bit-exact packed fast path encodes,
-so swapping backends never changes a prediction.
+The execution backend is resolved once from ``config.backend`` through
+the :mod:`repro.api` registry: by default the bit-exact packed fast path
+encodes, so swapping backends never changes a prediction.  The class
+satisfies the :class:`repro.api.Estimator` protocol — fit / predict /
+score / save / load — and because training is a single deterministic
+pass, :meth:`save`/:meth:`load` round-trip the fitted model bit-exactly
+(config + class accumulators; the Sobol codebook is rebuilt from its
+seed, never re-learned).
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from ..api.registry import get_backend
 from ..hdc.classifier import CentroidClassifier
 from .config import UHDConfig
 
@@ -26,26 +34,28 @@ class UHDClassifier:
     def __init__(
         self, num_pixels: int, num_classes: int, config: UHDConfig | None = None
     ) -> None:
-        from ..fastpath.backends import make_encoder
-
         self.config = config if config is not None else UHDConfig()
         self.num_pixels = num_pixels
         self.num_classes = num_classes
-        self.encoder = make_encoder(num_pixels, self.config)
+        self._backend = get_backend(self.config.backend)
+        self.encoder = self._backend.make_encoder(num_pixels, self.config)
         self._classifier: CentroidClassifier | None = None
 
     def _encode_images(self, images: np.ndarray) -> np.ndarray:
         return self.encoder.encode_batch(np.asarray(images))
 
-    def fit(self, images: np.ndarray, labels: np.ndarray) -> "UHDClassifier":
-        """Single-pass training (the paper's i = 1)."""
-        encoded = self._encode_images(images)
-        self._classifier = CentroidClassifier(
+    def _new_classifier(self) -> CentroidClassifier:
+        return CentroidClassifier(
             self.num_classes,
             self.config.dim,
             binarize=self.config.binarize,
-            backend=self.config.backend,
+            backend=self._backend,
         )
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "UHDClassifier":
+        """Single-pass training (the paper's i = 1)."""
+        encoded = self._encode_images(images)
+        self._classifier = self._new_classifier()
         self._classifier.fit(encoded, np.asarray(labels))
         return self
 
@@ -74,3 +84,60 @@ class UHDClassifier:
         if self._classifier is None:
             raise RuntimeError("model has not been fitted")
         return self._classifier
+
+    def with_backend(self, backend: str) -> "UHDClassifier":
+        """Clone onto another registered backend, trained state intact.
+
+        Backends are bit-exact, so the clone predicts identically; this is
+        how a serving layer re-homes a model trained elsewhere (e.g. load a
+        reference-trained file, serve it threaded) without refitting.
+        """
+        from dataclasses import replace
+
+        clone = UHDClassifier(
+            self.num_pixels,
+            self.num_classes,
+            replace(self.config, backend=backend),
+        )
+        if self._classifier is not None:
+            clone._classifier = clone._new_classifier()
+            clone._classifier._restore_accumulators(self._classifier.accumulators)
+        return clone
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence for the file format)
+    # ------------------------------------------------------------------
+    def _save_payload(self) -> dict[str, Any]:
+        from ..api.persistence import config_to_json
+
+        if self._classifier is None:
+            raise RuntimeError("cannot save an unfitted model")
+        return {
+            "config_json": config_to_json(self.config),
+            "num_pixels": self.num_pixels,
+            "num_classes": self.num_classes,
+            "accumulators": self._classifier.accumulators,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, np.ndarray]) -> "UHDClassifier":
+        from ..api.persistence import config_from_json
+
+        config = config_from_json(str(payload["config_json"].item()), UHDConfig)
+        model = cls(int(payload["num_pixels"]), int(payload["num_classes"]), config)
+        model._classifier = model._new_classifier()
+        model._classifier._restore_accumulators(payload["accumulators"])
+        return model
+
+    def save(self, path: Any) -> None:
+        """Persist config + trained state; loading never re-encodes data."""
+        from ..api.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Any) -> "UHDClassifier":
+        """Rebuild a fitted model saved by :meth:`save`, bit-exactly."""
+        from ..api.persistence import load_model
+
+        return load_model(path, expected=cls)

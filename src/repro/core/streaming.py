@@ -13,8 +13,11 @@ learners.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
+from ..api.registry import get_backend
 from ..hdc.classifier import CentroidClassifier
 from .config import UHDConfig
 
@@ -24,26 +27,32 @@ __all__ = ["StreamingUHD"]
 class StreamingUHD:
     """Online uHD classifier: encode-and-accumulate, one batch at a time.
 
-    The encoder follows ``config.backend``; the packed fast path is a
+    The encoder follows ``config.backend`` (resolved through the
+    :mod:`repro.api` backend registry); the packed fast path is a
     particularly good fit here because the gather tables amortize over the
     lifetime of the stream (the pair table self-promotes once enough
     samples have flowed through).
+
+    Satisfies the :class:`repro.api.Estimator` protocol: :meth:`fit` folds
+    a batch in exactly like :meth:`partial_fit` (for an online learner the
+    two are the same accumulation), and :meth:`save`/:meth:`load`
+    round-trip the accumulated model bit-exactly — a server can persist a
+    half-trained stream and resume it elsewhere.
     """
 
     def __init__(
         self, num_pixels: int, num_classes: int, config: UHDConfig | None = None
     ) -> None:
-        from ..fastpath.backends import make_encoder
-
         self.config = config if config is not None else UHDConfig()
         self.num_pixels = num_pixels
         self.num_classes = num_classes
-        self.encoder = make_encoder(num_pixels, self.config)
+        self._backend = get_backend(self.config.backend)
+        self.encoder = self._backend.make_encoder(num_pixels, self.config)
         self.classifier = CentroidClassifier(
             num_classes,
             self.config.dim,
             binarize=self.config.binarize,
-            backend=self.config.backend,
+            backend=self._backend,
         )
         self.samples_seen = 0
 
@@ -57,6 +66,10 @@ class StreamingUHD:
         self.classifier.fit(encoded, labels)
         self.samples_seen += int(labels.size)
         return self
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> "StreamingUHD":
+        """Estimator-protocol alias of :meth:`partial_fit` (pure accumulation)."""
+        return self.partial_fit(images, labels)
 
     def predict(self, images: np.ndarray) -> np.ndarray:
         """Labels under the model accumulated so far."""
@@ -102,3 +115,42 @@ class StreamingUHD:
                 accuracies.append(float(np.mean(predictions == batch_labels)))
             self.partial_fit(batch_images, batch_labels)
         return accuracies
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence for the file format)
+    # ------------------------------------------------------------------
+    def _save_payload(self) -> dict[str, Any]:
+        from ..api.persistence import config_to_json
+
+        if self.samples_seen == 0:
+            raise RuntimeError("cannot save a stream that has seen no samples")
+        return {
+            "config_json": config_to_json(self.config),
+            "num_pixels": self.num_pixels,
+            "num_classes": self.num_classes,
+            "samples_seen": self.samples_seen,
+            "accumulators": self.classifier.accumulators,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, np.ndarray]) -> "StreamingUHD":
+        from ..api.persistence import config_from_json
+
+        config = config_from_json(str(payload["config_json"].item()), UHDConfig)
+        model = cls(int(payload["num_pixels"]), int(payload["num_classes"]), config)
+        model.classifier._restore_accumulators(payload["accumulators"])
+        model.samples_seen = int(payload["samples_seen"])
+        return model
+
+    def save(self, path: Any) -> None:
+        """Persist the accumulated stream state (resumable elsewhere)."""
+        from ..api.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Any) -> "StreamingUHD":
+        """Resume a stream saved by :meth:`save`; accumulation continues."""
+        from ..api.persistence import load_model
+
+        return load_model(path, expected=cls)

@@ -46,10 +46,13 @@ uses the packed primitives directly: XOR + popcount over packed class HVs.
 When ``auto`` picks packed
 --------------------------
 ``UHDConfig(backend="auto")`` resolves per component (see
-:mod:`repro.fastpath.backends`): encoding goes packed when
+:mod:`repro.fastpath.execution`, reached through the
+:mod:`repro.api` backend registry): encoding goes packed when
 ``quantized=True`` and ``H <= PackedLevelEncoder.MAX_PIXELS``; inference
 goes packed when ``binarize=True`` (the centered-cosine default policy has
 no packed form).  ``backend="packed"`` forces and raises where impossible;
+``backend="threaded"`` shards the packed kernels over a thread pool
+(:mod:`repro.fastpath.threaded`) and stays bit-exact with ``packed``;
 ``backend="reference"`` always runs the original path.  Packed popcounts
 use :func:`numpy.bitwise_count` when NumPy >= 2.0 and fall back to a byte
 LUT otherwise (``repro.fastpath.bitops.HAS_BITWISE_COUNT``).
@@ -62,6 +65,7 @@ from .backends import (
     use_packed_inference,
     validate_backend,
 )
+from .execution import AutoBackend, PackedBackend, ReferenceBackend
 from .bitops import (
     HAS_BITWISE_COUNT,
     pack_bipolar,
@@ -79,11 +83,17 @@ from .inference import (
     packed_dot_similarity,
     packed_predict,
 )
+from .threaded import ThreadedBackend, ThreadedLevelEncoder, threaded_packed_hamming
 
 __all__ = [
+    "AutoBackend",
     "BACKENDS",
     "HAS_BITWISE_COUNT",
+    "PackedBackend",
     "PackedLevelEncoder",
+    "ReferenceBackend",
+    "ThreadedBackend",
+    "ThreadedLevelEncoder",
     "encoder_backend",
     "make_encoder",
     "pack_accumulators",
@@ -95,6 +105,7 @@ __all__ = [
     "packed_hamming",
     "packed_predict",
     "popcount",
+    "threaded_packed_hamming",
     "unpack_bipolar",
     "unpack_bits",
     "use_packed_inference",

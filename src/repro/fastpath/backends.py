@@ -1,27 +1,28 @@
-"""Backend selection: reference NumPy path vs packed fast path.
+"""Deprecated backend helpers — superseded by the :mod:`repro.api` registry.
 
-``UHDConfig.backend`` takes one of three values:
+This module used to own backend dispatch (a hardcoded name tuple plus
+ad-hoc resolution helpers).  That responsibility moved to the named
+backend registry in :mod:`repro.api.registry`; the implementations now
+live in :mod:`repro.fastpath.execution` and
+:mod:`repro.fastpath.threaded`.  Everything here delegates to the
+registry so old imports keep working:
 
-* ``"reference"`` — always the original elementwise encoders/classifier.
-* ``"packed"`` — force packed *encoding*; raises where that cannot apply
-  (non-quantized, too many pixels) so a forced selection never silently
-  degrades the hot path.  Inference has no packed form for the default
-  non-binarized policy, so there even ``"packed"`` stays on the reference
-  cosine (see :func:`use_packed_inference`) — by design, not by fallback:
-  encoding is where the time goes.
-* ``"auto"`` (default) — packed wherever it is bit-exact and supported:
-  encoding when ``quantized=True`` and the pixel count fits the packed
-  counter headroom; inference when ``binarize=True``.  Everything else
-  stays on the reference path.
-
-This module is import-light on purpose (encoder imports happen inside the
-factory functions): it sits below both ``repro.core`` and ``repro.hdc`` in
-the import graph, so either can consult it without cycles.
+* :func:`make_encoder` — **deprecated**, use
+  ``repro.api.get_backend(config.backend).make_encoder(...)``; emits a
+  single :class:`DeprecationWarning` per call site.
+* :func:`validate_backend`, :func:`encoder_backend`,
+  :func:`use_packed_inference` — thin registry delegates, kept warning-free
+  because the classifier exposed them in documented behaviour contracts.
+* ``BACKENDS`` — snapshot of the built-in names; the live list is
+  ``repro.api.list_backends()``.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
+
+from ..api.registry import Backend, get_backend, resolve_backend
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import UHDConfig
@@ -35,57 +36,38 @@ __all__ = [
     "use_packed_inference",
 ]
 
-BACKENDS = ("auto", "packed", "reference")
+#: built-in backend names (historical constant); consult
+#: ``repro.api.list_backends()`` for the live registry, which third-party
+#: packages extend at runtime
+BACKENDS = ("auto", "packed", "reference", "threaded")
 
 
 def validate_backend(backend: str) -> str:
-    if backend not in BACKENDS:
-        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    """Return ``backend`` if registered, else raise ``ValueError``."""
+    get_backend(backend)
     return backend
 
 
 def encoder_backend(config: "UHDConfig", num_pixels: int) -> str:
-    """Resolve the encoding backend for a config, ``"packed"`` or ``"reference"``."""
-    from .encoder import PackedLevelEncoder
-
-    backend = validate_backend(config.backend)
-    if backend == "packed":
-        if not config.quantized:
-            raise ValueError(
-                "backend='packed' requires quantized=True (the packed "
-                "encoder exploits the xi-level codes)"
-            )
-        if num_pixels > PackedLevelEncoder.MAX_PIXELS:
-            raise ValueError(
-                f"backend='packed' supports up to "
-                f"{PackedLevelEncoder.MAX_PIXELS} pixels, got {num_pixels}"
-            )
-        return "packed"
-    if (
-        backend == "auto"
-        and config.quantized
-        and num_pixels <= PackedLevelEncoder.MAX_PIXELS
-    ):
-        return "packed"
-    return "reference"
+    """Resolve the encoding path for a config, ``"packed"`` or ``"reference"``."""
+    return get_backend(config.backend).encoder_kind(config, num_pixels)
 
 
 def make_encoder(num_pixels: int, config: "UHDConfig") -> "SobolLevelEncoder":
-    """The encoder implementation selected by ``config.backend``."""
-    from ..core.encoder import SobolLevelEncoder
-    from .encoder import PackedLevelEncoder
+    """Deprecated: the encoder implementation selected by ``config.backend``.
 
-    if encoder_backend(config, num_pixels) == "packed":
-        return PackedLevelEncoder(num_pixels, config)
-    return SobolLevelEncoder(num_pixels, config)
-
-
-def use_packed_inference(backend: str, binarize: bool) -> bool:
-    """Packed XOR+popcount inference applies only to the binarized policy.
-
-    The default (non-binarized) policy compares mean-centered integer
-    centroids, which has no packed representation, so ``auto`` and even an
-    explicit ``packed`` fall back to the reference cosine there — encoding
-    still runs packed, which is where the time goes.
+    Use ``repro.api.get_backend(config.backend).make_encoder(num_pixels,
+    config)`` instead — that path also reaches third-party backends.
     """
-    return validate_backend(backend) != "reference" and binarize
+    warnings.warn(
+        "repro.fastpath.backends.make_encoder is deprecated; use "
+        "repro.api.get_backend(config.backend).make_encoder(num_pixels, config)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return get_backend(config.backend).make_encoder(num_pixels, config)
+
+
+def use_packed_inference(backend: "str | Backend", binarize: bool) -> bool:
+    """Whether classifier inference runs on packed words for ``backend``."""
+    return resolve_backend(backend).use_packed_inference(binarize)

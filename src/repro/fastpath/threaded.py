@@ -1,0 +1,276 @@
+"""Threaded backend: packed kernels sharded over the batch axis.
+
+The packed encoder and the packed Hamming kernel are embarrassingly
+parallel over images/queries: every per-chunk computation reads only the
+shared gather tables (read-only after construction) and writes a disjoint
+slice of the output.  NumPy releases the GIL inside the gather, the SWAR
+adds and the popcounts — the hot 99% of both kernels — so plain threads
+scale them across cores with zero IPC and zero table duplication.  That
+is rung 1 of the ROADMAP's backend ladder; rung 2 (multi-process serving)
+stacks on the same sharding with processes instead of threads.
+
+Design notes
+------------
+* **Thread-local workspaces.**  :class:`PackedLevelEncoder` preallocates
+  per-batch-size scratch; sharing it across workers would race.  Each
+  worker thread lazily builds its own workspace per (table, shard-size),
+  so steady-state encoding still never allocates.
+* **Shared tables, one promotion.**  ``_ensure_table`` (and the lazy
+  single→pair promotion) runs once on the submitting thread before any
+  worker starts; workers only ever *read* the table.
+* **Bit-exactness.**  Sharding does not touch the arithmetic: every shard
+  runs the identical integer pipeline the packed backend runs, so
+  ``threaded`` output equals ``packed`` output bit for bit (the tests
+  assert it).
+* **Small batches stay serial.**  Thread fan-out below one chunk per
+  worker costs more than it buys; those calls take the parent's in-line
+  path.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .bitops import packed_hamming
+from .encoder import PackedLevelEncoder, _GatherTable, _Workspace
+from .execution import PackedBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import UHDConfig
+
+__all__ = ["ThreadedLevelEncoder", "ThreadedBackend", "threaded_packed_hamming"]
+
+
+def default_workers() -> int:
+    """Worker count: every core up to a soft cap (oversubscription hurts)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class _LazyPool:
+    """Shared lazy ThreadPoolExecutor plumbing (encoder + inference backend)."""
+
+    def __init__(self, max_workers: int | None, thread_name_prefix: str) -> None:
+        self.max_workers = (
+            default_workers() if max_workers is None else max(1, int(max_workers))
+        )
+        self._prefix = thread_name_prefix
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix=self._prefix,
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the pool's threads now instead of waiting for GC."""
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+
+class ThreadedLevelEncoder(PackedLevelEncoder):
+    """Packed encoder sharding ``encode_batch`` across a thread pool.
+
+    Bit-exact with :class:`PackedLevelEncoder` (and therefore with the
+    reference): threads partition the batch axis only.  The pool is
+    created lazily and sized by ``max_workers``
+    (:func:`default_workers` when omitted).
+    """
+
+    def __init__(
+        self,
+        num_pixels: int,
+        config: "UHDConfig",
+        pair_lut_budget: int | None = None,
+        max_workers: int | None = None,
+        pool: _LazyPool | None = None,
+    ) -> None:
+        super().__init__(num_pixels, config, pair_lut_budget=pair_lut_budget)
+        # a shared pool (e.g. the ThreadedBackend's) keeps a many-model
+        # server at one encode pool instead of one per loaded model
+        self._lazy_pool = (
+            pool if pool is not None else _LazyPool(max_workers, "uhd-encode")
+        )
+        self._tls = threading.local()
+        #: bumped when the gather table is swapped (pair promotion) so every
+        #: worker thread drops its stale per-geometry workspaces
+        self._ws_generation = 0
+        self._last_table: _GatherTable | None = None
+        #: serializes table construction/promotion across concurrent
+        #: encode_batch callers (the parent's _ensure_table assumes one)
+        self._table_lock = threading.Lock()
+
+    @property
+    def max_workers(self) -> int:
+        return self._lazy_pool.max_workers
+
+    def _executor(self) -> ThreadPoolExecutor:
+        return self._lazy_pool.executor()
+
+    @property
+    def _pool(self) -> ThreadPoolExecutor | None:
+        """The live pool, if fan-out ever happened (None = stayed serial)."""
+        return self._lazy_pool._pool
+
+    def close(self) -> None:
+        """Release the worker threads (no-op if encoding never fanned out).
+
+        The encoder stays usable — the pool restarts lazily on the next
+        multi-chunk batch.  Harmless on a pool shared with other models.
+        """
+        self._lazy_pool.shutdown()
+
+    def _thread_workspace(self, table: _GatherTable, batch: int) -> _Workspace:
+        """Per-thread scratch, discarded wholesale when the table changes.
+
+        Only the *current* table's workspaces are cached.  A task that is
+        still carrying the pre-promotion table (possible when concurrent
+        ``encode_batch`` calls straddle the promotion point) gets a
+        transient workspace instead — correct geometry, never cached, so a
+        cached workspace can never mismatch the table it is used with.
+        """
+        if table is not self._last_table:
+            return _Workspace(table, batch, self._spread_words)
+        if getattr(self._tls, "generation", None) != self._ws_generation:
+            self._tls.generation = self._ws_generation
+            self._tls.workspaces = {}
+        spaces = self._tls.workspaces
+        entry = spaces.get(batch)
+        # each entry remembers its table: a workspace can never be reused
+        # with a different table even if promotion races the checks above
+        if entry is None or entry[0] is not table:
+            entry = spaces[batch] = (table, _Workspace(table, batch, self._spread_words))
+        return entry[1]
+
+    def _encode_span(
+        self,
+        values: np.ndarray,
+        table: _GatherTable,
+        out: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        workspace = self._thread_workspace(table, stop - start)
+        out[start:stop] = self._encode_chunk(values[start:stop], table, workspace)
+
+    def encode_batch(self, images: np.ndarray, chunk: int = 32) -> np.ndarray:
+        values = self._normalize(images)
+        batch = values.shape[0]
+        self._images_seen += batch
+        with self._table_lock:  # promotion happens here, before fan-out
+            table = self._ensure_table()
+            if table is not self._last_table:
+                self._last_table = table
+                self._ws_generation += 1
+        out = np.empty((batch, self.dim), dtype=np.int64)
+        spans = [(s, min(s + chunk, batch)) for s in range(0, batch, chunk)]
+        if self.max_workers == 1 or len(spans) < 2:
+            for start, stop in spans:
+                self._encode_span(values, table, out, start, stop)
+            return out
+        futures = [
+            self._executor().submit(self._encode_span, values, table, out, start, stop)
+            for start, stop in spans
+        ]
+        for future in futures:
+            future.result()  # propagate worker exceptions, preserve order
+        return out
+
+
+def threaded_packed_hamming(
+    queries: np.ndarray,
+    references: np.ndarray,
+    executor: ThreadPoolExecutor,
+    min_rows_per_worker: int = 128,
+    workers: int | None = None,
+) -> np.ndarray:
+    """:func:`repro.fastpath.bitops.packed_hamming` sharded over query rows.
+
+    Falls through to the serial kernel when the query count cannot keep
+    at least two workers busy at ``min_rows_per_worker`` rows each.
+    ``workers`` sizes the shards; when omitted it is read off the executor
+    (falling back to serial for executors that hide their worker count).
+    """
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.uint64))
+    n = queries.shape[0]
+    if workers is None:
+        workers = getattr(executor, "_max_workers", 1)
+    workers = max(1, workers)
+    shard = max(min_rows_per_worker, -(-n // workers))
+    if n <= shard:
+        return packed_hamming(queries, references)
+    out = np.empty((n, np.atleast_2d(references).shape[0]), dtype=np.int64)
+
+    def run(start: int, stop: int) -> None:
+        out[start:stop] = packed_hamming(queries[start:stop], references)
+
+    futures = [
+        executor.submit(run, start, min(start + shard, n))
+        for start in range(0, n, shard)
+    ]
+    for future in futures:
+        future.result()
+    return out
+
+
+class ThreadedBackend(PackedBackend):
+    """The ``"threaded"`` registry entry: packed semantics, thread fan-out.
+
+    Encoding is forced-packed exactly like ``backend="packed"`` (same
+    validation, same errors) but runs on :class:`ThreadedLevelEncoder`;
+    binarized inference shards the packed Hamming kernel across the same
+    kind of pool.  Everything stays bit-exact with ``packed``.
+    """
+
+    name = "threaded"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        # one pool serves both this backend's inference sharding and the
+        # encoders it hands out (see _packed_encoder)
+        self._lazy_pool = _LazyPool(max_workers, "uhd-threaded")
+
+    @property
+    def max_workers(self) -> int:
+        return self._lazy_pool.max_workers
+
+    def _executor(self) -> ThreadPoolExecutor:
+        return self._lazy_pool.executor()
+
+    def _packed_encoder(self, num_pixels: int, config: "UHDConfig"):
+        # share this backend's pool: a server loading many threaded models
+        # gets one worker pool, not one per encoder
+        return ThreadedLevelEncoder(num_pixels, config, pool=self._lazy_pool)
+
+    def packed_predict(
+        self, queries: np.ndarray, class_words: np.ndarray, dim: int
+    ) -> np.ndarray:
+        from .inference import pack_accumulators
+
+        query_words = pack_accumulators(queries)
+        hamming = threaded_packed_hamming(
+            query_words, class_words, self._executor(), workers=self.max_workers
+        )
+        return (dim - 2 * hamming).argmax(axis=1)
+
+    def packed_cosine(
+        self, query_words: np.ndarray, class_words: np.ndarray, dim: int
+    ) -> np.ndarray:
+        hamming = threaded_packed_hamming(
+            query_words, class_words, self._executor(), workers=self.max_workers
+        )
+        return (dim - 2 * hamming) / float(dim)

@@ -9,6 +9,7 @@ bundling, sign binarization, and cosine inference.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -77,6 +78,7 @@ class BaselineHDC:
             self.config.levels, self.config.dim, rng, scheme=self.config.level_scheme
         )
         self.encoder = RecordEncoder(positions, levels)
+        self.active_seed = seed  # the draw the current codebooks came from
         self._classifier = None
         return self
 
@@ -123,3 +125,49 @@ class BaselineHDC:
         if self._classifier is None:
             raise RuntimeError("model has not been fitted")
         return self._classifier
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence for the file format)
+    # ------------------------------------------------------------------
+    def _save_payload(self) -> dict[str, Any]:
+        from ..api.persistence import config_to_json
+
+        if self._classifier is None:
+            raise RuntimeError("cannot save an unfitted model")
+        return {
+            "config_json": config_to_json(self.config),
+            "num_pixels": self.num_pixels,
+            "num_classes": self.num_classes,
+            # codebooks are a pure function of this draw's seed, so the
+            # seed (not the item memories) is what gets persisted
+            "active_seed": self.active_seed,
+            "accumulators": self._classifier.accumulators,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, np.ndarray]) -> "BaselineHDC":
+        from ..api.persistence import config_from_json
+
+        config = config_from_json(str(payload["config_json"].item()), BaselineConfig)
+        model = cls(int(payload["num_pixels"]), int(payload["num_classes"]), config)
+        active_seed = int(payload["active_seed"])
+        if active_seed != model.active_seed:  # __init__ already drew config.seed
+            model.reseed(active_seed)
+        model._classifier = CentroidClassifier(
+            model.num_classes, config.dim, binarize=config.binarize
+        )
+        model._classifier._restore_accumulators(payload["accumulators"])
+        return model
+
+    def save(self, path: Any) -> None:
+        """Persist config + the active draw's seed + trained accumulators."""
+        from ..api.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Any) -> "BaselineHDC":
+        """Rebuild a fitted baseline saved by :meth:`save`, bit-exactly."""
+        from ..api.persistence import load_model
+
+        return load_model(path, expected=cls)

@@ -24,13 +24,29 @@ are single-pass, so it is off by default everywhere.
 
 from __future__ import annotations
 
+import warnings
+from typing import Any
+
 import numpy as np
 
-from ..fastpath.backends import use_packed_inference, validate_backend
+from ..api.registry import Backend, get_backend, resolve_backend
 from .ops import binarize
 from .similarity import classify, cosine_similarity
 
 __all__ = ["CentroidClassifier"]
+
+
+def _saved_backend(name: str) -> Backend:
+    """Resolve a persisted backend name, reporting a missing plugin clearly."""
+    try:
+        return get_backend(name)
+    except ValueError as exc:
+        from ..api.persistence import ModelFormatError
+
+        raise ModelFormatError(
+            f"model was saved with backend {name!r}, which is not registered "
+            "in this process; import/register the backend before loading"
+        ) from exc
 
 
 class CentroidClassifier:
@@ -59,7 +75,7 @@ class CentroidClassifier:
         dim: int,
         binarize: bool = False,
         center: bool = True,
-        backend: str = "auto",
+        backend: "str | Backend | None" = None,
     ) -> None:
         if num_classes < 2 or dim < 1:
             raise ValueError("num_classes must be >= 2 and dim >= 1")
@@ -67,10 +83,27 @@ class CentroidClassifier:
         self.dim = dim
         self.binarize = binarize
         self.center = center
-        self.backend = validate_backend(backend)
+        if backend is None:
+            self._backend = get_backend("auto")
+        elif isinstance(backend, str):
+            warnings.warn(
+                "passing a backend name string directly to CentroidClassifier "
+                "is deprecated; resolve it through the registry instead: "
+                "CentroidClassifier(..., backend=repro.api.get_backend(name))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self._backend = get_backend(backend)
+        else:
+            self._backend = resolve_backend(backend)  # type-checks the instance
         self._accumulators = np.zeros((num_classes, dim), dtype=np.int64)
         self._fitted = False
         self._packed_classes: np.ndarray | None = None
+
+    @property
+    def backend(self) -> str:
+        """Name of the execution backend this classifier runs on."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Training
@@ -145,7 +178,7 @@ class CentroidClassifier:
         return self._packed_classes
 
     def _use_packed(self) -> bool:
-        return use_packed_inference(self.backend, self.binarize)
+        return self._backend.use_packed_inference(self.binarize)
 
     def similarities(self, encoded: np.ndarray) -> np.ndarray:
         """Cosine similarity of queries to every class representative.
@@ -159,9 +192,9 @@ class CentroidClassifier:
         queries = np.atleast_2d(np.asarray(encoded))
         if self.binarize:
             if self._use_packed():
-                from ..fastpath.inference import pack_accumulators, packed_cosine
+                from ..fastpath.inference import pack_accumulators
 
-                return packed_cosine(
+                return self._backend.packed_cosine(
                     pack_accumulators(queries), self._packed_class_words(), self.dim
                 )
             return cosine_similarity(binarize(queries), self.class_hypervectors)
@@ -185,10 +218,10 @@ class CentroidClassifier:
         """
         if self._use_packed():
             self._require_fitted()
-            from ..fastpath.inference import packed_predict
-
             queries = np.atleast_2d(np.asarray(encoded))
-            return packed_predict(queries, self._packed_class_words(), self.dim)
+            return self._backend.packed_predict(
+                queries, self._packed_class_words(), self.dim
+            )
         return classify(self.similarities(encoded))
 
     def score(self, encoded: np.ndarray, labels: np.ndarray) -> float:
@@ -204,3 +237,66 @@ class CentroidClassifier:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError("classifier has not been fitted")
+
+    # ------------------------------------------------------------------
+    # Persistence (see repro.api.persistence for the file format)
+    # ------------------------------------------------------------------
+    def _save_payload(self) -> dict[str, Any]:
+        from ..api.registry import is_registered_backend
+
+        self._require_fitted()
+        if not is_registered_backend(self.backend):
+            # only the *name* is persisted; an unregistered instance would
+            # produce a file no process (including this one) can load
+            raise ValueError(
+                f"cannot persist a classifier bound to unregistered backend "
+                f"{self.backend!r}; repro.api.register_backend it first so "
+                "load() can resolve the name"
+            )
+        return {
+            "num_classes": self.num_classes,
+            "dim": self.dim,
+            "binarize": self.binarize,
+            "center": self.center,
+            "backend": self.backend,
+            "accumulators": self._accumulators,
+        }
+
+    @classmethod
+    def _from_payload(cls, payload: dict[str, np.ndarray]) -> "CentroidClassifier":
+        model = cls(
+            int(payload["num_classes"]),
+            int(payload["dim"]),
+            binarize=bool(payload["binarize"]),
+            center=bool(payload["center"]),
+            backend=_saved_backend(str(payload["backend"].item())),
+        )
+        model._restore_accumulators(payload["accumulators"])
+        return model
+
+    def _restore_accumulators(self, accumulators: np.ndarray) -> None:
+        """Install trained state (the save/load path; no data re-encoding)."""
+        accumulators = np.asarray(accumulators)
+        if accumulators.shape != (self.num_classes, self.dim):
+            from ..api.persistence import ModelFormatError
+
+            raise ModelFormatError(
+                f"accumulators have shape {accumulators.shape}, expected "
+                f"({self.num_classes}, {self.dim})"
+            )
+        self._accumulators = accumulators.astype(np.int64, copy=True)
+        self._packed_classes = None
+        self._fitted = True
+
+    def save(self, path: Any) -> None:
+        """Persist the fitted classifier (versioned ``.npz``, bit-exact)."""
+        from ..api.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path: Any) -> "CentroidClassifier":
+        """Rebuild a fitted classifier saved by :meth:`save`."""
+        from ..api.persistence import load_model
+
+        return load_model(path, expected=cls)

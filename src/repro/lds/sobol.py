@@ -64,6 +64,27 @@ _SEQUENCE_CACHE: dict[tuple, np.ndarray] = {}
 _SEQUENCE_CACHE_MAX = 8
 
 
+class _SharedSequenceTable(np.ndarray):
+    """Read-only view onto a cached Sobol table with a helpful mutation error.
+
+    The memo in :func:`sobol_sequences` hands the *same* array to every
+    encoder built for a config, so in-place writes would corrupt every
+    other consumer.  Plain read-only NumPy arrays already refuse writes,
+    but with a generic message; this subclass points the caller at the
+    fix.  In-place ufuncs (``table *= 2``) still surface NumPy's own
+    read-only error — the flag protects the memory either way.
+    """
+
+    def __setitem__(self, key, value):
+        if not self.flags.writeable:
+            raise ValueError(
+                "sobol_sequences() returned a shared read-only table "
+                "(memoized across encoders); pass copy=True for a private "
+                "writable copy before mutating"
+            )
+        super().__setitem__(key, value)
+
+
 def clear_sobol_cache() -> None:
     """Drop all memoized sobol_sequences tables (mainly for tests)."""
     _SEQUENCE_CACHE.clear()
@@ -77,11 +98,13 @@ def _cache_get(key: tuple) -> Optional[np.ndarray]:
 
 
 def _cache_put(key: tuple, value: np.ndarray) -> np.ndarray:
+    value = np.asarray(value)
     value.setflags(write=False)
-    _SEQUENCE_CACHE[key] = value
+    shared = value.view(_SharedSequenceTable)
+    _SEQUENCE_CACHE[key] = shared
     while len(_SEQUENCE_CACHE) > _SEQUENCE_CACHE_MAX:
         _SEQUENCE_CACHE.pop(next(iter(_SEQUENCE_CACHE)))
-    return value
+    return shared
 
 
 def _random_direction_integers(rng: np.random.Generator, max_bits: int) -> np.ndarray:
@@ -243,6 +266,7 @@ def sobol_sequences(
     dtype: Optional[np.dtype] = None,
     init: str = "random",
     digital_shift: bool = False,
+    copy: bool = False,
 ) -> np.ndarray:
     """Sobol scalars arranged per dimension: shape ``(n_dims, length)``.
 
@@ -251,9 +275,12 @@ def sobol_sequences(
     to float64; pass ``np.float32`` to halve memory for large ``D``.
 
     Results are memoized on ``(n_dims, length, seed, dtype, init,
-    digital_shift)`` and returned **read-only**: constructing several
-    encoders for the same config generates the table once.  Copy before
-    mutating.
+    digital_shift)``: constructing several encoders for the same config
+    generates the table once.  The returned array is therefore **shared
+    and read-only** — attempting ``table[i] = ...`` raises a ValueError
+    pointing back here.  Pass ``copy=True`` for a private writable copy
+    (the cache stays intact; a mutated copy never leaks to other
+    consumers).
     """
     master_key = (n_dims, length, seed, init, digital_shift)
     master = _cache_get(master_key)
@@ -265,9 +292,12 @@ def sobol_sequences(
             master_key, np.ascontiguousarray(engine.random(length).T)
         )
     if dtype is None or np.dtype(dtype) == master.dtype:
-        return master
-    cast_key = master_key + (np.dtype(dtype).str,)
-    cast = _cache_get(cast_key)
-    if cast is None:
-        cast = _cache_put(cast_key, master.astype(dtype))
-    return cast
+        result = master
+    else:
+        cast_key = master_key + (np.dtype(dtype).str,)
+        result = _cache_get(cast_key)
+        if result is None:
+            result = _cache_put(cast_key, master.astype(dtype))
+    if copy:
+        return np.array(result)  # private, writable, detached from the cache
+    return result

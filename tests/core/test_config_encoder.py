@@ -33,6 +33,19 @@ class TestConfig:
         with pytest.raises(Exception):
             UHDConfig().dim = 2048
 
+    def test_non_power_of_two_levels_warns_and_rounds_up(self):
+        with pytest.warns(UserWarning, match="not a power of two"):
+            config = UHDConfig(levels=20)
+        # M rounds up to the next integer bit width; N never rounds
+        assert config.quantization_bits == 5
+        assert config.stream_length == 20
+
+    def test_power_of_two_levels_do_not_warn(self, recwarn):
+        for levels in (2, 16, 256):
+            config = UHDConfig(levels=levels)
+            assert config.stream_length == levels
+        assert not [w for w in recwarn if w.category is UserWarning]
+
 
 class TestEncoderConstruction:
     def test_sequences_shape(self):

@@ -1,0 +1,139 @@
+"""Threaded backend: bit-exactness with packed, registry wiring, sharding."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.api import get_backend
+from repro.core import UHDConfig
+from repro.fastpath.bitops import pack_bits, packed_hamming
+from repro.fastpath.encoder import PackedLevelEncoder
+from repro.fastpath.threaded import (
+    ThreadedBackend,
+    ThreadedLevelEncoder,
+    threaded_packed_hamming,
+)
+from repro.hdc.classifier import CentroidClassifier
+
+
+@pytest.fixture()
+def rng():
+    """Function-scoped stream: leaves the session ``rng`` fixture untouched
+    (several existing tests assert statistical properties at fixed positions
+    of that shared stream)."""
+    return np.random.default_rng(2718)
+
+
+def _images(rng, count, pixels=49):
+    return rng.integers(0, 256, size=(count, pixels), dtype=np.uint8).astype(np.uint8)
+
+
+class TestThreadedEncoder:
+    @pytest.mark.parametrize("batch", [1, 7, 33, 70])
+    def test_bit_exact_with_packed(self, rng, batch):
+        config = UHDConfig(dim=128)
+        packed = PackedLevelEncoder(49, config)
+        threaded = ThreadedLevelEncoder(49, config, max_workers=4)
+        images = _images(rng, batch)
+        np.testing.assert_array_equal(
+            threaded.encode_batch(images, chunk=16),
+            packed.encode_batch(images, chunk=16),
+        )
+
+    def test_bit_exact_across_pair_promotion(self, rng):
+        config = UHDConfig(dim=128)
+        packed = PackedLevelEncoder(49, config)
+        threaded = ThreadedLevelEncoder(49, config, max_workers=3)
+        for _ in range(3):  # crosses PAIR_PROMOTE_IMAGES on both encoders
+            images = _images(rng, PackedLevelEncoder.PAIR_PROMOTE_IMAGES)
+            np.testing.assert_array_equal(
+                threaded.encode_batch(images), packed.encode_batch(images)
+            )
+
+    def test_single_worker_stays_serial(self, rng):
+        config = UHDConfig(dim=64)
+        threaded = ThreadedLevelEncoder(49, config, max_workers=1)
+        reference = PackedLevelEncoder(49, config)
+        images = _images(rng, 40)
+        np.testing.assert_array_equal(
+            threaded.encode_batch(images), reference.encode_batch(images)
+        )
+        assert threaded._pool is None  # never fanned out
+
+    def test_worker_count_floor(self):
+        encoder = ThreadedLevelEncoder(16, UHDConfig(dim=64), max_workers=0)
+        assert encoder.max_workers == 1
+        default = ThreadedLevelEncoder(16, UHDConfig(dim=64))
+        assert default.max_workers >= 1
+
+
+class TestThreadedRegistryWiring:
+    def test_config_selects_threaded_encoder(self):
+        backend = get_backend("threaded")
+        encoder = backend.make_encoder(49, UHDConfig(dim=64, backend="threaded"))
+        assert isinstance(encoder, ThreadedLevelEncoder)
+        assert backend.encoder_kind(UHDConfig(dim=64, backend="threaded"), 49) == (
+            "packed"
+        )
+
+    def test_forced_like_packed(self):
+        backend = get_backend("threaded")
+        with pytest.raises(ValueError, match="quantized"):
+            backend.encoder_kind(
+                UHDConfig(dim=64, quantized=False, backend="threaded"), 49
+            )
+        with pytest.raises(ValueError, match="pixels"):
+            backend.encoder_kind(
+                UHDConfig(dim=64, backend="threaded"),
+                PackedLevelEncoder.MAX_PIXELS + 1,
+            )
+
+    def test_inference_policy_matches_packed(self):
+        backend = get_backend("threaded")
+        assert backend.use_packed_inference(True)
+        assert not backend.use_packed_inference(False)
+
+
+class TestThreadedHamming:
+    def test_matches_serial_kernel(self, rng):
+        queries = pack_bits(rng.integers(0, 2, size=(700, 256)).astype(bool))
+        references = pack_bits(rng.integers(0, 2, size=(10, 256)).astype(bool))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            sharded = threaded_packed_hamming(
+                queries, references, pool, min_rows_per_worker=64
+            )
+        np.testing.assert_array_equal(
+            sharded, packed_hamming(queries, references)
+        )
+
+    def test_small_inputs_fall_through_serial(self, rng):
+        queries = pack_bits(rng.integers(0, 2, size=(8, 128)).astype(bool))
+        references = pack_bits(rng.integers(0, 2, size=(4, 128)).astype(bool))
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            np.testing.assert_array_equal(
+                threaded_packed_hamming(queries, references, pool),
+                packed_hamming(queries, references),
+            )
+
+
+class TestThreadedInference:
+    def test_predictions_equal_packed_on_every_row(self, rng):
+        dim = 256
+        encoded = rng.integers(-30, 31, size=(600, dim)).astype(np.int64)
+        labels = rng.integers(0, 7, size=600)
+        packed_clf = CentroidClassifier(
+            7, dim, binarize=True, backend=get_backend("packed")
+        ).fit(encoded, labels)
+        threaded_clf = CentroidClassifier(
+            7, dim, binarize=True, backend=ThreadedBackend(max_workers=3)
+        ).fit(encoded, labels)
+        np.testing.assert_array_equal(
+            threaded_clf.predict(encoded), packed_clf.predict(encoded)
+        )
+        np.testing.assert_allclose(
+            threaded_clf.similarities(encoded),
+            packed_clf.similarities(encoded),
+            rtol=0,
+            atol=0,
+        )

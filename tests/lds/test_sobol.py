@@ -171,6 +171,30 @@ class TestSequenceMemo:
         with pytest.raises(ValueError):
             seqs[0, 0] = 0.5
 
+    def test_mutation_error_points_at_copy_kwarg(self):
+        seqs = sobol_sequences(8, 32, seed=3)
+        with pytest.raises(ValueError, match="copy=True"):
+            seqs[0, 0] = 0.5
+        # in-place ufuncs hit NumPy's own read-only guard instead
+        with pytest.raises(ValueError):
+            seqs += 1.0
+
+    def test_copy_returns_private_writable_array(self):
+        shared = sobol_sequences(8, 32, seed=3)
+        before = shared.copy()
+        private = sobol_sequences(8, 32, seed=3, copy=True)
+        assert private.flags.writeable
+        assert private is not shared
+        np.testing.assert_array_equal(private, shared)
+        private[0, 0] = 0.123  # must not corrupt the shared table
+        np.testing.assert_array_equal(sobol_sequences(8, 32, seed=3), before)
+
+    def test_copy_with_dtype(self):
+        private = sobol_sequences(8, 32, seed=3, dtype=np.float32, copy=True)
+        assert private.dtype == np.float32
+        assert private.flags.writeable
+        private *= 2.0  # writable through ufuncs too
+
     def test_cache_is_bounded(self):
         from repro.lds import sobol as sobol_module
 

@@ -60,3 +60,57 @@ class TestCli:
     def test_backend_flag_accepted(self, capsys):
         with pytest.raises(SystemExit):
             main(["table4", "--backend", "gpu"])
+
+    def test_backend_choices_come_from_registry(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table4", "--help"])
+        assert "threaded" in capsys.readouterr().out
+
+
+class TestModelLifecycleCli:
+    def _save(self, tmp_path, capsys, backend="packed"):
+        path = tmp_path / "model.npz"
+        assert main([
+            "save", "--out", str(path), "--dim", "128",
+            "--n-train", "200", "--n-test", "80", "--backend", backend,
+        ]) == 0
+        return path, capsys.readouterr().out
+
+    def test_save_then_load_round_trip(self, tmp_path, capsys):
+        path, saved_out = self._save(tmp_path, capsys)
+        assert "saved model to" in saved_out
+        assert path.exists()
+        saved_accuracy = saved_out.split("test accuracy ")[1].split("%")[0]
+        assert main([
+            "load", "--model", str(path), "--n-train", "200", "--n-test", "80",
+        ]) == 0
+        loaded_out = capsys.readouterr().out
+        assert "without retraining" in loaded_out
+        # same split, warm-loaded model: bit-exact accuracy
+        assert f"test accuracy on mnist: {saved_accuracy}%" in loaded_out
+
+    def test_load_with_backend_override(self, tmp_path, capsys):
+        path, saved_out = self._save(tmp_path, capsys, backend="reference")
+        saved_accuracy = saved_out.split("test accuracy ")[1].split("%")[0]
+        assert main([
+            "load", "--model", str(path), "--n-train", "200", "--n-test", "80",
+            "--backend", "threaded",
+        ]) == 0
+        loaded_out = capsys.readouterr().out
+        assert "backend=threaded" in loaded_out
+        assert f"test accuracy on mnist: {saved_accuracy}%" in loaded_out
+
+    def test_serve_check(self, tmp_path, capsys):
+        path, _ = self._save(tmp_path, capsys, backend="threaded")
+        assert main([
+            "serve-check", "--model", str(path), "--batch", "16",
+            "--repeats", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve-check OK" in out
+        assert "deterministic" in out
+
+    def test_list_mentions_lifecycle(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve-check" in out
