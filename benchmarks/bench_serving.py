@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Serving benchmark: micro-batched vs unbatched request throughput.
+
+Stands up two :class:`repro.serve.UHDServer` pools over the same saved
+model and pushes the same stream of small predict requests through both:
+
+* ``serve_unbatched`` — ``max_batch`` pinned to the request size and a
+  zero coalescing window, so every request pays its own dispatch and
+  (in pool mode) IPC round-trip; this is what a naive per-request
+  server does.
+* ``serve_batched`` — the real micro-batcher: requests coalesce up to
+  ``--max-batch`` rows inside a ``--max-wait-ms`` window, so the packed
+  kernels see wide batches and the per-request fixed costs amortize.
+
+Labels are checked bit-exact against ``UHDClassifier.predict`` before
+anything is timed.  Results merge into ``BENCH_throughput.json``
+alongside the encode/predict rows ``run_bench.py`` records — the two
+writers share the file without clobbering each other (see
+``write_bench_json``), so the checked-in perf trajectory keeps its
+existing recorded speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --workers 2 --requests 128
+    PYTHONPATH=src python benchmarks/bench_serving.py --no-write   # print only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.core.config import UHDConfig
+from repro.core.model import UHDClassifier
+from repro.datasets import synthetic_mnist
+from repro.eval.throughput import write_bench_json
+from repro.serve import ServeConfig, UHDServer
+
+
+def _train_model(path: str, dim: int, backend: str, seed: int) -> UHDClassifier:
+    data = synthetic_mnist(n_train=500, n_test=100, seed=seed)
+    model = UHDClassifier(
+        data.num_pixels,
+        data.num_classes,
+        UHDConfig(dim=dim, backend=backend, binarize=True),
+    )
+    model.fit(data.train_images, data.train_labels)
+    model.save(path)
+    return model
+
+
+def _time_round(server: UHDServer, queries: list[np.ndarray]) -> float:
+    start = time.perf_counter()
+    handles = [server.submit(batch) for batch in queries]
+    for handle in handles:
+        handle.result(timeout=60.0)
+    return time.perf_counter() - start
+
+
+def _serve_scenario(
+    model_path: str,
+    config: ServeConfig,
+    queries: list[np.ndarray],
+    expected: list[np.ndarray],
+    repeats: int,
+) -> tuple[float, float]:
+    """(median wall seconds per round, mean batch size); verifies bit-exactness."""
+    with UHDServer(model_path, config) as server:
+        answers = [server.submit(batch) for batch in queries]
+        for answer, want in zip(answers, expected):
+            if not np.array_equal(answer.result(timeout=60.0), want):
+                raise AssertionError(
+                    "served labels are not bit-exact with UHDClassifier.predict"
+                )
+        _time_round(server, queries)  # warm
+        times = [_time_round(server, queries) for _ in range(repeats)]
+        stats = server.stats()
+    return float(np.median(times)), stats.mean_batch_size
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--model", default=None,
+        help="saved model (.npz); a small one is trained when omitted",
+    )
+    parser.add_argument("--dim", type=int, default=1024,
+                        help="hypervector dimension for the trained model")
+    parser.add_argument("--backend", default="packed",
+                        help="registry backend for model and workers")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per server (0 = in-process fallback)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=96,
+        help="predict requests per timed round",
+    )
+    parser.add_argument(
+        "--request-batch", type=int, default=1,
+        help="images per request (1 = the pure micro-batching case)",
+    )
+    parser.add_argument("--max-batch", type=int, default=64,
+                        help="coalescing bound for the batched scenario")
+    parser.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="coalescing window for the batched scenario")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed rounds (median reported)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--out", default="BENCH_throughput.json",
+        help="perf record to merge serve rows into (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-write", dest="write", action="store_false",
+        help="print results without touching the perf record",
+    )
+    args = parser.parse_args(argv)
+
+    tmp = None
+    model_path = args.model
+    if model_path is None:
+        fd, model_path = tempfile.mkstemp(suffix=".npz", prefix="uhd-serving-")
+        os.close(fd)
+        tmp = model_path
+        model = _train_model(model_path, args.dim, args.backend, args.seed)
+    else:
+        model = UHDClassifier.load(model_path)
+    try:
+        rng = np.random.default_rng(args.seed)
+        queries = [
+            rng.integers(
+                0, 256, size=(args.request_batch, model.num_pixels),
+                dtype=np.uint8,
+            )
+            for _ in range(args.requests)
+        ]
+        expected = [model.predict(batch) for batch in queries]
+
+        unbatched = ServeConfig(
+            workers=args.workers,
+            max_batch=args.request_batch,
+            max_wait_ms=0.0,
+            backend=args.backend,
+        )
+        batched = ServeConfig(
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            backend=args.backend,
+        )
+        unbatched_s, unbatched_mean = _serve_scenario(
+            model_path, unbatched, queries, expected, args.repeats
+        )
+        batched_s, batched_mean = _serve_scenario(
+            model_path, batched, queries, expected, args.repeats
+        )
+    finally:
+        if tmp is not None:
+            os.unlink(tmp)
+
+    images = args.requests * args.request_batch
+    rows = [
+        {
+            "name": "serve_unbatched",
+            "median_s": unbatched_s,
+            "ops_per_s": images / unbatched_s,
+            "speedup_vs_reference": None,
+            "speedup_vs_packed": None,
+            "requests": args.requests,
+            "images_per_request": args.request_batch,
+            # amortized: round wall time / request count with all requests
+            # submitted up front — inverse throughput, NOT queueing latency
+            # (micro-batching adds up to max_wait_ms of latency per request)
+            "ms_per_request_amortized": unbatched_s / args.requests * 1e3,
+            "mean_batch_size": unbatched_mean,
+        },
+        {
+            "name": "serve_batched",
+            "median_s": batched_s,
+            "ops_per_s": images / batched_s,
+            "speedup_vs_reference": None,
+            "speedup_vs_packed": None,
+            "requests": args.requests,
+            "images_per_request": args.request_batch,
+            "ms_per_request_amortized": batched_s / args.requests * 1e3,
+            "mean_batch_size": batched_mean,
+            "speedup_vs_unbatched": unbatched_s / batched_s,
+        },
+    ]
+    print("serving throughput (median round over repeats, bit-exact verified):")
+    for row in rows:
+        extra = ""
+        if "speedup_vs_unbatched" in row:
+            extra = f"  ({row['speedup_vs_unbatched']:.1f}x vs unbatched)"
+        print(
+            f"  {row['name']:<18} {row['median_s'] * 1e3:8.3f} ms/round "
+            f"{row['ops_per_s']:10.0f} images/s  "
+            f"mean batch {row['mean_batch_size']:5.1f}{extra}"
+        )
+    if args.write:
+        write_bench_json(
+            {
+                "serve_config": {
+                    "workers": args.workers,
+                    "requests": args.requests,
+                    "images_per_request": args.request_batch,
+                    "max_batch": args.max_batch,
+                    "max_wait_ms": args.max_wait_ms,
+                    "backend": args.backend,
+                    "dim": model.config.dim,  # the served model's true D
+                    "repeats": args.repeats,
+                    "cpu_count": os.cpu_count(),
+                },
+                "benchmarks": rows,
+            },
+            args.out,
+        )
+        print(f"merged serve rows into {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Markdown link checker: every relative link must point at a real file.
+
+Stdlib-only (runs in CI's docs job with no dependencies installed and
+in the test suite via ``tests/docs/test_markdown_links.py``).  Checks
+``[text](target)`` links in the given markdown files/directories:
+
+* relative targets must exist on disk (resolved against the file's
+  directory; ``#anchor`` suffixes are stripped; a bare ``#anchor`` is
+  accepted as a same-file reference);
+* absolute URLs (``http(s)://``, ``mailto:``) are *not* fetched — CI
+  must stay hermetic — but obviously malformed ones (``http:/x``) fail.
+
+Usage::
+
+    python scripts/check_md_links.py README.md ROADMAP.md docs
+    python scripts/check_md_links.py            # defaults: repo *.md + docs/
+
+Exits non-zero listing every broken link as ``file:line: target``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) — excluding images' leading "!" is unnecessary: image
+#: targets must exist just the same
+_LINK = re.compile(r"\[[^\]\[]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Broken-link report lines for one markdown file."""
+    problems: list[str] = []
+    in_code_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SCHEMES):
+                continue
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                problems.append(
+                    f"{path}:{lineno}: unrecognized URL scheme in {target!r}"
+                )
+                continue
+            if target.startswith("#"):
+                continue  # same-file anchor
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}:{lineno}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = (argv if argv is not None else sys.argv[1:]) or None
+    if args:
+        roots = [Path(arg) for arg in args]
+    else:
+        repo = Path(__file__).resolve().parents[1]
+        roots = sorted(repo.glob("*.md")) + [repo / "docs"]
+    missing = [str(root) for root in roots if not root.exists()]
+    if missing:
+        print(f"no such file or directory: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    files = iter_markdown(roots)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        + (f"{len(problems)} broken link(s)" if problems else "all links OK")
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,15 @@ class Estimator(Protocol):
     the image classifiers, pre-encoded hypervectors for
     :class:`~repro.hdc.classifier.CentroidClassifier`); ``y`` is a 1-D
     integer label array aligned with ``X``.
+
+    Example — code written against the protocol serves any model::
+
+        from repro.api import Estimator, load_model
+
+        def accuracy(model: Estimator, X, y) -> float:
+            return model.score(X, y)
+
+        accuracy(load_model("mnist-2048.npz"), test_images, test_labels)
     """
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "Estimator":

@@ -51,7 +51,11 @@ __all__ = [
     "config_from_json",
 ]
 
+#: magic string in every model file header; ``load_model`` rejects files
+#: whose magic differs (e.g. an arbitrary ``.npz``) with ModelFormatError
 FORMAT_NAME = "uhd-model"
+#: integer format version this build writes; readers accept 1..FORMAT_VERSION
+#: and refuse files from the future with ModelFormatError
 FORMAT_VERSION = 1
 
 _FORMAT_KEY = "__format__"
@@ -74,7 +78,17 @@ def _import(module: str, attr: str) -> type:
 
 
 class ModelFormatError(Exception):
-    """A model file is corrupted, mis-versioned, or of the wrong kind."""
+    """A model file is corrupted, mis-versioned, or of the wrong kind.
+
+    Example::
+
+        from repro.api import ModelFormatError, load_model
+
+        try:
+            model = load_model("maybe-a-model.npz")
+        except ModelFormatError as exc:
+            print(f"refusing to serve: {exc}")
+    """
 
 
 def config_to_json(config: Any) -> str:
@@ -136,6 +150,13 @@ def save_model(model: "Estimator", path: Any) -> None:
     ``path`` may be a string/``os.PathLike`` or an open binary file
     object.  Raises ``RuntimeError`` if the model has not been fitted
     (an unfitted model has no state worth a file).
+
+    Example::
+
+        from repro.api import save_model
+
+        model.fit(train_images, train_labels)
+        save_model(model, "mnist-2048.npz")     # == model.save(...)
     """
     arrays = _save_arrays(model)
     if hasattr(path, "write"):
@@ -181,7 +202,9 @@ def _check_header(arrays: Mapping[str, np.ndarray]) -> str:
     return model
 
 
-def load_model(path: Any, expected: type | None = None) -> "Estimator":
+def load_model(
+    path: Any, expected: type | None = None, backend: str | None = None
+) -> "Estimator":
     """Rebuild a fitted model saved by :func:`save_model`.
 
     ``expected`` (used by the per-class ``load`` classmethods) pins the
@@ -189,6 +212,20 @@ def load_model(path: Any, expected: type | None = None) -> "Estimator":
     :class:`ModelFormatError` instead of returning a surprise type.
     Loading reconstructs the encoder from config — it never touches or
     re-encodes training data.
+
+    ``backend`` re-homes the loaded model onto another registered
+    execution backend (``model.with_backend``), trained state intact —
+    the single code path the CLI and the serving layer (front-end and
+    every worker) share, so they can never re-home inconsistently.
+    Raises ``ValueError`` for a model type that cannot switch backends.
+
+    Example — warm-start a serving worker, bit-exact with the saver::
+
+        from repro.api import load_model
+
+        warm = load_model("mnist-2048.npz")     # no retraining, no data
+        fast = load_model("mnist-2048.npz", backend="packed")
+        labels = warm.predict(images)
     """
     arrays = _read_arrays(path)
     name = _check_header(arrays)
@@ -201,9 +238,20 @@ def load_model(path: Any, expected: type | None = None) -> "Estimator":
     cls = _MODEL_IMPORTS[name]()
     payload = {k: v for k, v in arrays.items() if not k.startswith("__")}
     try:
-        return cls._from_payload(payload)
+        model = cls._from_payload(payload)
     except KeyError as exc:
         raise ModelFormatError(
             f"model file is missing payload field {exc.args[0]!r} — truncated "
             "or written by an incompatible build"
         ) from exc
+    if backend is not None:
+        current = getattr(getattr(model, "config", None), "backend", None)
+        if current != backend:
+            if not hasattr(model, "with_backend"):
+                raise ValueError(
+                    f"{name} cannot be re-homed onto backend {backend!r} "
+                    "(no with_backend); save it with the desired backend "
+                    "instead"
+                )
+            model = model.with_backend(backend)
+    return model

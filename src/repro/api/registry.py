@@ -58,6 +58,26 @@ class Backend(Protocol):
     Implementations must be stateless (or share only read-only state):
     one instance is cached per registered name and handed to every model
     that selects it, possibly from several threads.
+
+    Example — the smallest useful custom backend, delegating encoding to
+    the reference path but forcing reference inference::
+
+        from repro.api import Backend, get_backend, register_backend
+
+        class ReferenceOnly:
+            name = "ref-only"
+            def make_encoder(self, num_pixels, config):
+                return get_backend("reference").make_encoder(num_pixels, config)
+            def encoder_kind(self, config, num_pixels):
+                return "reference"
+            def use_packed_inference(self, binarize):
+                return False
+            def packed_predict(self, queries, class_words, dim):
+                raise NotImplementedError
+            def packed_cosine(self, query_words, class_words, dim):
+                raise NotImplementedError
+
+        register_backend("ref-only", ReferenceOnly)
     """
 
     #: registry name; ``UHDConfig(backend=name)`` selects this backend
@@ -113,6 +133,14 @@ def register_backend(
     ``replace=True`` to overwrite an existing registration — without it a
     name collision raises so two libraries cannot silently fight over a
     name.
+
+    Example::
+
+        from repro.api import register_backend
+        from repro import UHDClassifier, UHDConfig
+
+        register_backend("fancy", FancyBackend)            # plug in by name
+        model = UHDClassifier(784, 10, UHDConfig(backend="fancy"))
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"backend name must be a non-empty string, got {name!r}")
@@ -129,19 +157,42 @@ def register_backend(
 
 
 def unregister_backend(name: str) -> None:
-    """Remove a registered backend (mainly for tests / plugin teardown)."""
+    """Remove a registered backend (mainly for tests / plugin teardown).
+
+    Removing an unknown name is a no-op.  Example::
+
+        register_backend("temp", TempBackend)
+        try:
+            ...
+        finally:
+            unregister_backend("temp")
+    """
     with _INSTANCE_LOCK:
         _FACTORIES.pop(name, None)
         _INSTANCES.pop(name, None)
 
 
 def list_backends() -> tuple[str, ...]:
-    """Registered backend names, registration order."""
+    """Registered backend names, registration order.
+
+    Example::
+
+        >>> from repro.api import list_backends
+        >>> sorted(list_backends())
+        ['auto', 'packed', 'reference', 'threaded']
+    """
     return tuple(_FACTORIES)
 
 
 def is_registered_backend(name: str) -> bool:
-    """Whether ``name`` resolves to a registered backend."""
+    """Whether ``name`` resolves to a registered backend.
+
+    Example::
+
+        >>> from repro.api import is_registered_backend
+        >>> is_registered_backend("packed"), is_registered_backend("gpu")
+        (True, False)
+    """
     return name in _FACTORIES
 
 
@@ -150,6 +201,14 @@ def get_backend(name: str) -> Backend:
 
     Raises ``ValueError`` with the available names for typo-friendly
     config validation errors.
+
+    Example — build the encoder a config selects (the supported
+    replacement for the deprecated ``repro.fastpath.backends.make_encoder``)::
+
+        from repro.api import get_backend
+
+        backend = get_backend(config.backend)
+        encoder = backend.make_encoder(num_pixels, config)
     """
     instance = _INSTANCES.get(name)
     if instance is not None:
@@ -175,7 +234,13 @@ def get_backend(name: str) -> Backend:
 
 
 def resolve_backend(backend: "str | Backend") -> Backend:
-    """Normalize a name or an already-built backend to a Backend instance."""
+    """Normalize a name or an already-built backend to a Backend instance.
+
+    Example::
+
+        resolve_backend("packed")            # registry lookup
+        resolve_backend(MyBackend())         # passes through, type-checked
+    """
     if isinstance(backend, str):
         return get_backend(backend)
     if isinstance(backend, Backend):

@@ -11,6 +11,7 @@ Usage::
     repro-uhd save --out model.npz --dataset mnist --dim 2048 --backend threaded
     repro-uhd load --model model.npz --dataset mnist
     repro-uhd serve-check --model model.npz --batch 64
+    repro-uhd serve --model model.npz --workers 2 --rounds 3 --batch 16
 
 Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
 sizes; ``--backend`` accepts any backend registered with
@@ -18,7 +19,10 @@ sizes; ``--backend`` accepts any backend registered with
 threaded, reference).  ``save``/``load`` round-trip trained models through
 the versioned :mod:`repro.api.persistence` format; ``serve-check`` is the
 serving-readiness probe — it loads a warm model (no retraining) and
-reports prediction latency.
+reports prediction latency; ``serve`` stands up the
+:mod:`repro.serve` worker pool (each worker runs the serve-check probe
+before accepting traffic), answers ``--rounds`` predict round-trips
+bit-exactly, prints batching stats, and shuts down cleanly.
 """
 
 from __future__ import annotations
@@ -203,34 +207,106 @@ def _cmd_load(args: argparse.Namespace) -> str:
 
 
 def _cmd_serve_check(args: argparse.Namespace) -> str:
-    """Serving-readiness probe: warm-load a model and time its predictions."""
-    import numpy as np
+    """Serving-readiness probe: warm-load a model and time its predictions.
 
+    Runs :func:`repro.serve.readiness_probe` — the *same* function every
+    ``repro-uhd serve`` worker runs before accepting traffic, so a
+    passing serve-check here means the worker handshake will pass too.
+    """
     from .core.model import UHDClassifier
+    from .serve import readiness_probe
 
     model = UHDClassifier.load(args.model)
     if args.backend is not None and args.backend != model.config.backend:
         model = model.with_backend(args.backend)
-    rng = np.random.default_rng(args.seed)
-    images = rng.integers(
-        0, 256, size=(args.batch, model.num_pixels), dtype=np.uint8
+    probe = readiness_probe(
+        model, model.num_pixels,
+        batch=args.batch, repeats=args.repeats, seed=args.seed,
     )
-    first = model.predict(images)  # warm gather tables / packed class words
-    if not np.array_equal(first, model.predict(images)):
-        raise AssertionError("predictions are not deterministic on repeat calls")
-    timings = []
-    for _ in range(args.repeats):
-        start = time.perf_counter()
-        model.predict(images)
-        timings.append(time.perf_counter() - start)
-    median = float(np.median(timings))
     return (
         f"serve-check OK: {args.model} "
         f"(D={model.config.dim}, backend={model.config.backend})\n"
         f"  loaded warm (no retraining), predictions deterministic\n"
-        f"  batch={args.batch}: median {median * 1e3:.3f} ms "
-        f"({args.batch / median:.0f} images/s over {args.repeats} repeats)"
+        f"  batch={probe.batch}: median {probe.median_ms:.3f} ms "
+        f"({probe.images_per_s:.0f} images/s over {probe.repeats} repeats)"
     )
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Start a serving pool, answer predict round-trips, shut down cleanly.
+
+    With ``--verify`` (default) every served label array is compared
+    bit-for-bit against ``UHDClassifier.predict`` on a directly loaded
+    copy of the model — the serving layer's core contract.
+    """
+    import numpy as np
+
+    from .serve import ServeConfig, UHDServer
+
+    config = ServeConfig(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+        start_method=args.start_method,
+    )
+    rng = np.random.default_rng(args.seed)
+    lines: list[str] = []
+    start = time.perf_counter()
+    with UHDServer(args.model, config) as server:
+        startup_s = time.perf_counter() - start
+        stats = server.stats()
+        mode = "in-process fallback" if config.workers == 0 else (
+            f"{config.workers} worker process(es)"
+        )
+        lines.append(
+            f"serve: {args.model} up in {startup_s:.2f}s ({mode}, "
+            f"max_batch={config.max_batch}, "
+            f"max_wait={config.max_wait_ms:g}ms)"
+        )
+        for slot, probe_ms in enumerate(stats.worker_probe_ms):
+            lines.append(
+                f"  worker {slot}: ready, serve-check probe median "
+                f"{probe_ms:.3f} ms"
+            )
+        queries = rng.integers(
+            0, 256,
+            size=(args.rounds, args.batch, server.num_pixels),
+            dtype=np.uint8,
+        )
+        t0 = time.perf_counter()
+        handles = [server.submit(batch) for batch in queries]
+        answers = [handle.result(timeout=60.0) for handle in handles]
+        elapsed = time.perf_counter() - t0
+        total = args.rounds * args.batch
+        lines.append(
+            f"  served {args.rounds} request(s) x {args.batch} image(s) in "
+            f"{elapsed * 1e3:.2f} ms ({total / elapsed:.0f} images/s)"
+        )
+        if args.verify:
+            from .api import load_model
+
+            # load_model, not UHDClassifier.load: the server fronts any
+            # persisted image model (StreamingUHD included), and the
+            # backend= re-home is the same path the workers took
+            direct = load_model(args.model, backend=args.backend)
+            for batch, answer in zip(queries, answers):
+                if not np.array_equal(direct.predict(batch), answer):
+                    raise AssertionError(
+                        "served labels differ from UHDClassifier.predict"
+                    )
+            lines.append(
+                f"  verify OK: all {total} labels bit-exact with "
+                "UHDClassifier.predict"
+            )
+        final = server.stats()
+        lines.append(
+            f"  batching: {final.batches} batch(es) for {final.requests} "
+            f"request(s), mean batch {final.mean_batch_size:.1f}, "
+            f"max {final.max_batch_seen}"
+        )
+    lines.append("  shutdown clean")
+    return "\n".join(lines)
 
 
 def _model_io_args(parser: argparse.ArgumentParser, needs_model: bool) -> None:
@@ -269,10 +345,45 @@ def _configure_serve_check(parser: argparse.ArgumentParser) -> None:
     _backend_arg(parser, default=None)
 
 
+def _configure_serve(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, help="saved model (.npz) path")
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (0 = synchronous in-process fallback)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batching bound: images per dispatched batch",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batching window before a partial batch flushes",
+    )
+    parser.add_argument(
+        "--start-method", default="auto",
+        choices=("auto", "fork", "spawn", "forkserver"),
+        help="multiprocessing start method (auto = fork where available)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="predict requests to serve before shutting down",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=16, help="images per served request"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="query seed")
+    parser.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="skip the bit-exactness check against UHDClassifier.predict",
+    )
+    _backend_arg(parser, default=None)
+
+
 _MODEL_COMMANDS = {
     "save": (_cmd_save, _configure_save),
     "load": (_cmd_load, _configure_load),
     "serve-check": (_cmd_serve_check, _configure_serve_check),
+    "serve": (_cmd_serve, _configure_serve),
 }
 
 _COMMANDS = {

@@ -238,10 +238,39 @@ def run_throughput_suite(
     }
 
 
-def write_bench_json(results: dict, path: str) -> None:
-    """Write suite results as indented JSON (the checked-in perf record)."""
+def write_bench_json(results: dict, path: str, merge: bool = True) -> None:
+    """Write suite results as indented JSON (the checked-in perf record).
+
+    With ``merge=True`` (default) an existing record at ``path`` is
+    *updated*, not clobbered: benchmark rows are replaced by name and
+    rows the new results do not produce are preserved, as are top-level
+    sections the new results do not carry.  That lets independent
+    benchmark writers — ``run_bench.py`` (encode/predict rows plus the
+    ``config`` section) and ``bench_serving.py`` (``serve_*`` rows plus
+    ``serve_config``) — share one ``BENCH_throughput.json`` without
+    erasing each other's recorded speedups.
+    """
+    merged = results
+    if merge:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            merged = dict(existing)
+            for key, value in results.items():
+                if key != "benchmarks":
+                    merged[key] = value
+            new_rows = {b["name"]: b for b in results.get("benchmarks", [])}
+            rows = [
+                new_rows.pop(b["name"], b)
+                for b in existing.get("benchmarks", [])
+            ]
+            rows.extend(new_rows.values())  # rows recorded for the first time
+            merged["benchmarks"] = rows
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(results, handle, indent=2)
+        json.dump(merged, handle, indent=2)
         handle.write("\n")
 
 

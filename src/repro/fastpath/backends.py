@@ -56,12 +56,15 @@ def encoder_backend(config: "UHDConfig", num_pixels: int) -> str:
 def make_encoder(num_pixels: int, config: "UHDConfig") -> "SobolLevelEncoder":
     """Deprecated: the encoder implementation selected by ``config.backend``.
 
-    Use ``repro.api.get_backend(config.backend).make_encoder(num_pixels,
-    config)`` instead — that path also reaches third-party backends.
+    The replacement symbol is :func:`repro.api.get_backend`: call
+    ``repro.api.get_backend(config.backend).make_encoder(num_pixels,
+    config)`` — that path also reaches third-party registered backends.
     """
     warnings.warn(
-        "repro.fastpath.backends.make_encoder is deprecated; use "
-        "repro.api.get_backend(config.backend).make_encoder(num_pixels, config)",
+        "repro.fastpath.backends.make_encoder() is deprecated; the "
+        "replacement symbol is repro.api.get_backend — call "
+        "repro.api.get_backend(config.backend).make_encoder(num_pixels, "
+        "config), which also reaches third-party registered backends",
         DeprecationWarning,
         stacklevel=2,
     )

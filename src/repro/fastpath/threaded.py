@@ -60,6 +60,7 @@ class _LazyPool:
         )
         self._prefix = thread_name_prefix
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_pid: int | None = None
         self._lock = threading.Lock()
 
     @property
@@ -68,19 +69,26 @@ class _LazyPool:
 
     def executor(self) -> ThreadPoolExecutor:
         with self._lock:
+            if self._pool is not None and self._pool_pid != os.getpid():
+                # forked child: the inherited executor's threads do not
+                # exist here — submitting to it would hang forever.  Drop
+                # the dead object (never join it) and start fresh.
+                self._pool = None
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
                     max_workers=self.max_workers,
                     thread_name_prefix=self._prefix,
                 )
+                self._pool_pid = os.getpid()
             return self._pool
 
     def shutdown(self) -> None:
         """Stop the pool's threads now instead of waiting for GC."""
         with self._lock:
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+                if self._pool_pid == os.getpid():
+                    self._pool.shutdown(wait=True)
+                self._pool = None  # forked copy: threads aren't ours to join
 
 
 class ThreadedLevelEncoder(PackedLevelEncoder):

@@ -1,0 +1,62 @@
+"""Multi-process serving for uHD models — rung 2 of the backend ladder.
+
+uHD's single-pass training leaves a fitted model as config plus one
+small integer matrix, persisted bit-exactly by :mod:`repro.api`.  That
+makes serving workers *tiny and stateless-restartable*: each one
+warm-starts from the model file (:func:`repro.api.load_model`, never
+re-fitting), proves readiness with the ``serve-check`` probe, and can be
+killed and respawned at any time without losing anything but the batch
+it was holding — which the front-end re-queues.
+
+The pieces (see ``docs/serving.md`` for the operator guide and
+``docs/ARCHITECTURE.md`` for where this sits in the system):
+
+* :class:`UHDServer` — the front-end: owns one warm encoder per
+  ``(pixels, config)`` key, micro-batches requests, fans batches out to
+  the worker pool, restarts crashed workers.  ``ServeConfig(workers=0)``
+  is the synchronous in-process fallback for 1-core hosts.
+* :class:`ServeConfig` / :class:`ServerStats` /
+  :class:`PredictionHandle` — configuration, observability, and the
+  async result handle.
+* :class:`MicroBatcher` — the bounded coalescing queue (reusable on its
+  own).
+* :class:`EncoderCache` / :func:`encoder_cache` — process-wide shared
+  warm encoders.
+* :func:`readiness_probe` — the shared serve-check implementation.
+
+Quickstart::
+
+    from repro.serve import ServeConfig, UHDServer
+
+    with UHDServer("mnist-2048.npz", ServeConfig(workers=2)) as server:
+        labels = server.predict(images)   # bit-exact with UHDClassifier.predict
+
+Everything is bit-exact with calling the model directly: the server
+splits, coalesces and routes, but never transforms data.
+"""
+
+from .batcher import MicroBatcher
+from .cache import EncoderCache, encoder_cache
+from .probe import ProbeResult, readiness_probe
+from .server import UHDServer
+from .types import (
+    PredictionHandle,
+    ServeConfig,
+    ServeError,
+    ServerStats,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "EncoderCache",
+    "MicroBatcher",
+    "PredictionHandle",
+    "ProbeResult",
+    "ServeConfig",
+    "ServeError",
+    "ServerStats",
+    "UHDServer",
+    "WorkerCrashError",
+    "encoder_cache",
+    "readiness_probe",
+]

@@ -1,0 +1,146 @@
+"""Process-wide warm-encoder cache, one encoder per ``(pixels, config)`` key.
+
+A serving front-end may host several models of the same shape — replicas
+of one dataset's model, A/B variants sharing a config — and the
+expensive part of each is the encoder's derived state: Sobol tables
+(already memoized process-wide by :func:`repro.lds.sobol.sobol_sequences`)
+and the packed gather LUTs, including the lazy single→pair promotion
+that only pays off once warm.  :class:`EncoderCache` deduplicates that
+state: every model with the same ``(num_pixels, UHDConfig)`` key is
+handed the *same* encoder instance, whose tables are read-only after
+warm-up.
+
+Two serving-specific consequences:
+
+* **Fork-time sharing.**  ``UHDServer`` warms its front-end encoder
+  *before* spawning workers; under the ``fork`` start method the
+  children inherit the promoted tables copy-on-write, so N workers cost
+  one set of gather tables, not N.
+* **Serialization contract.**  Packed encoders keep per-batch scratch
+  workspaces, so concurrent ``encode_batch`` calls on one shared
+  instance must be externally serialized — ``UHDServer`` does (its
+  in-process mode runs under a lock; worker processes each own a
+  private copy).  The ``threaded`` backend's encoder is internally
+  thread-safe and exempt.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.config import UHDConfig
+    from ..core.encoder import SobolLevelEncoder
+
+__all__ = ["EncoderCache", "encoder_cache"]
+
+
+class EncoderCache:
+    """Thread-safe map ``(num_pixels, config) -> warm shared encoder``.
+
+    Configs are frozen dataclasses, hence hashable; the backend name is
+    part of the config, so ``packed`` and ``reference`` encoders for the
+    same geometry are distinct entries.  Each entry carries a dedicated
+    lock (:meth:`lock`) that every in-process user of the shared encoder
+    must hold around ``encode_batch`` — packed encoders keep mutable
+    scratch workspaces, and two servers sharing one cached encoder from
+    different threads would otherwise race on them.
+    """
+
+    def __init__(self) -> None:
+        self._encoders: dict[tuple[int, "UHDConfig"], "SobolLevelEncoder"] = {}
+        self._encoder_locks: dict[tuple[int, "UHDConfig"], threading.Lock] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._encoders)
+
+    def get(self, num_pixels: int, config: "UHDConfig") -> "SobolLevelEncoder":
+        """The shared encoder for this key, built on first use.
+
+        Construction goes through the backend registry
+        (``get_backend(config.backend).make_encoder``), so third-party
+        backends are cached the same way as built-ins.
+        """
+        key = (int(num_pixels), config)
+        with self._lock:
+            encoder = self._encoders.get(key)
+            if encoder is None:
+                from ..api.registry import get_backend
+
+                encoder = get_backend(config.backend).make_encoder(
+                    num_pixels, config
+                )
+                self._encoders[key] = encoder
+                self._encoder_locks[key] = threading.Lock()
+            return encoder
+
+    def lock(self, num_pixels: int, config: "UHDConfig") -> threading.Lock:
+        """The serialization lock for this key's shared encoder.
+
+        Hold it around any ``encode_batch``/``predict`` that runs on the
+        shared instance; it is one lock per *encoder*, so two servers
+        over the same key serialize against each other, not just against
+        themselves.
+        """
+        key = (int(num_pixels), config)
+        with self._lock:
+            if key not in self._encoder_locks:
+                self._encoder_locks[key] = threading.Lock()
+            return self._encoder_locks[key]
+
+    def adopt(self, model: object) -> "threading.Lock | None":
+        """Install the shared encoder for ``model``'s key onto ``model``.
+
+        Returns the encoder's serialization lock, or ``None`` when the
+        model does not expose an encoder/config (nothing to share).  Used
+        by both the serving front-end and the worker bootstrap: under the
+        ``fork`` start method the worker's inherited cache already holds
+        the parent's *warmed* encoder, so adoption is what turns the
+        pre-fork warm-up into copy-on-write table sharing instead of a
+        per-worker rebuild.
+        """
+        config = getattr(model, "config", None)
+        num_pixels = getattr(model, "num_pixels", None)
+        if config is None or num_pixels is None or not hasattr(model, "encoder"):
+            return None
+        model.encoder = self.get(num_pixels, config)
+        return self.lock(num_pixels, config)
+
+    def warm(
+        self, num_pixels: int, config: "UHDConfig", batches: int = 2, seed: int = 0
+    ) -> "SobolLevelEncoder":
+        """Build *and* exercise the shared encoder past its lazy setup.
+
+        Runs ``batches`` synthetic encode batches sized to push a packed
+        encoder past pair-table promotion, so everything expensive is
+        materialized before (for example) worker processes fork.
+        """
+        encoder = self.get(num_pixels, config)
+        promote = getattr(type(encoder), "PAIR_PROMOTE_IMAGES", 0)
+        batch = max(32, -(-int(promote) // max(1, batches)) + 1)
+        rng = np.random.default_rng(seed)
+        for _ in range(batches):
+            images = rng.integers(
+                0, 256, size=(batch, num_pixels), dtype=np.uint8
+            )
+            encoder.encode_batch(images)
+        return encoder
+
+    def clear(self) -> None:
+        """Drop every cached encoder (tests / reconfiguration)."""
+        with self._lock:
+            self._encoders.clear()
+            self._encoder_locks.clear()
+
+
+_CACHE = EncoderCache()
+
+
+def encoder_cache() -> EncoderCache:
+    """The process-wide :class:`EncoderCache` singleton ``UHDServer`` uses."""
+    return _CACHE

@@ -1,0 +1,228 @@
+"""Request/response and configuration types of the serving subsystem.
+
+Everything a caller touches is here: :class:`ServeConfig` (how the
+server batches and fans out), :class:`PredictionHandle` (the future a
+:meth:`~repro.serve.server.UHDServer.submit` returns),
+:class:`ServerStats` (an observability snapshot) and the exception
+hierarchy (:class:`ServeError` / :class:`WorkerCrashError`).
+
+The wire protocol between the front-end and its worker processes is
+*not* public — it lives in :mod:`repro.serve.worker` as plain picklable
+tuples — but the invariant it upholds is: a request handed to
+``submit`` is either answered bit-exactly or fails loudly with a
+``ServeError``; it is never silently dropped, including across worker
+crashes (crashed batches are re-queued onto a fresh worker).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+__all__ = [
+    "ServeConfig",
+    "ServeError",
+    "WorkerCrashError",
+    "PredictionHandle",
+    "ServerStats",
+]
+
+
+class ServeError(RuntimeError):
+    """The serving layer could not answer a request (startup, shutdown,
+    worker bootstrap failure, or a request failed after retries)."""
+
+
+class WorkerCrashError(ServeError):
+    """A worker process died and the request exhausted its restart budget."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """How a :class:`~repro.serve.server.UHDServer` batches and fans out.
+
+    Attributes
+    ----------
+    workers:
+        Worker *processes* to spawn.  ``0`` selects the synchronous
+        in-process fallback (right for 1-core hosts and tests): requests
+        run on the caller's thread through the front-end's own warm
+        model, still chunked to ``max_batch``.
+    max_batch:
+        Upper bound on images per dispatched batch.  Requests are
+        coalesced up to this bound; a single request *larger* than it is
+        split into ``max_batch``-sized parts and reassembled in order,
+        so the packed kernels always see friendly batch shapes.
+    max_wait_ms:
+        Micro-batching window: once a batch has its first request, the
+        dispatcher waits at most this long for more requests to coalesce
+        before flushing a partial batch.  ``0`` flushes immediately
+        (lowest latency, least coalescing).
+    backend:
+        Registry backend name every worker re-homes the loaded model
+        onto (``None`` keeps the backend recorded in the model file).
+        Validated against :func:`repro.api.list_backends` at startup.
+    queue_depth:
+        Bound on requests waiting in the micro-batching queue;
+        ``submit`` blocks (backpressure) when it is full.
+    restart_limit:
+        Total worker restarts the server will perform before declaring
+        a batch failed (:class:`WorkerCrashError`) and refusing to
+        respawn further.
+    start_method:
+        ``multiprocessing`` start method: ``"fork"`` (shares the
+        front-end's already-warm gather tables copy-on-write),
+        ``"spawn"``, ``"forkserver"``, or ``"auto"`` (fork where the
+        platform offers it, else spawn).
+    ready_timeout_s:
+        How long to wait for every worker's readiness probe at startup
+        before failing with :class:`ServeError`.
+    probe_batch:
+        Images in each worker's readiness self-probe (the same
+        deterministic-predictions check ``repro-uhd serve-check`` runs).
+    """
+
+    workers: int = 1
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    backend: str | None = None
+    queue_depth: int = 256
+    restart_limit: int = 3
+    start_method: str = "auto"
+    ready_timeout_s: float = 60.0
+    probe_batch: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
+        if self.restart_limit < 0:
+            raise ValueError(
+                f"restart_limit must be >= 0, got {self.restart_limit}"
+            )
+        if self.start_method not in ("auto", "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "start_method must be one of 'auto', 'fork', 'spawn', "
+                f"'forkserver', got {self.start_method!r}"
+            )
+        if self.probe_batch < 1:
+            raise ValueError(f"probe_batch must be >= 1, got {self.probe_batch}")
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time counters of a running server.
+
+    ``mean_batch_size`` is the coalescing health metric: near 1.0 under
+    a trickle of traffic, approaching ``max_batch`` under load.
+    """
+
+    mode: str  #: ``"pool"`` (worker processes) or ``"inproc"`` (fallback)
+    workers: int
+    requests: int  #: submit() calls accepted
+    images: int  #: total images across those requests
+    batches: int  #: dispatched batches (pool) / executed chunks (inproc)
+    max_batch_seen: int
+    mean_batch_size: float
+    restarts: int  #: worker respawns performed (crash recovery)
+    worker_probe_ms: tuple[float, ...]  #: readiness-probe latency per worker
+
+
+class PredictionHandle:
+    """Future-like handle for one submitted prediction request.
+
+    A request may have been split into several parts (when it exceeded
+    ``max_batch``) that complete out of order on different workers;
+    :meth:`result` reassembles the label array in the original row
+    order.
+    """
+
+    def __init__(self, parts: int, rows: int) -> None:
+        self._parts_left = parts
+        self.rows = rows
+        self._results: list["np.ndarray | None"] = [None] * parts
+        self._error: BaseException | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        if parts == 0:  # empty request: nothing to wait for
+            self._done.set()
+
+    def _complete_part(self, index: int, labels: "np.ndarray") -> None:
+        with self._lock:
+            if self._results[index] is None:
+                self._results[index] = labels
+                self._parts_left -= 1
+            if self._parts_left == 0:
+                self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._lock:
+            if self._error is None:
+                self._error = error
+            self._done.set()
+
+    def done(self) -> bool:
+        """Whether :meth:`result` would return (or raise) without blocking."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> "np.ndarray":
+        """Predicted labels, in the submitted row order.
+
+        Blocks up to ``timeout`` seconds (forever when ``None``); raises
+        :class:`TimeoutError` if the request has not completed by then,
+        or the failure (:class:`WorkerCrashError` / :class:`ServeError`)
+        if it cannot complete.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError("prediction not completed within timeout")
+        if self._error is not None:
+            raise self._error
+        import numpy as np
+
+        results = [r for r in self._results if r is not None]
+        if not results:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(results)
+
+
+@dataclass
+class _StatCounters:
+    """Mutable counters behind :class:`ServerStats` (internal)."""
+
+    requests: int = 0
+    images: int = 0
+    batches: int = 0
+    batched_images: int = 0
+    max_batch_seen: int = 0
+    restarts: int = 0
+    probe_ms: dict[int, float] = field(default_factory=dict)
+
+    def record_batch(self, rows: int) -> None:
+        self.batches += 1
+        self.batched_images += rows
+        self.max_batch_seen = max(self.max_batch_seen, rows)
+
+    def snapshot(self, mode: str, workers: int) -> ServerStats:
+        mean = self.batched_images / self.batches if self.batches else 0.0
+        return ServerStats(
+            mode=mode,
+            workers=workers,
+            requests=self.requests,
+            images=self.images,
+            batches=self.batches,
+            max_batch_seen=self.max_batch_seen,
+            mean_batch_size=mean,
+            restarts=self.restarts,
+            worker_probe_ms=tuple(
+                self.probe_ms[k] for k in sorted(self.probe_ms)
+            ),
+        )

@@ -1,0 +1,98 @@
+"""Docs stay navigable: the markdown link checker runs as a tier-1 test."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+SCRIPT = REPO / "scripts" / "check_md_links.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_md_links", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_md_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+class TestRepoDocs:
+    def test_all_repo_markdown_links_resolve(self, capsys):
+        targets = [str(p) for p in sorted(REPO.glob("*.md"))] + [
+            str(REPO / "docs")
+        ]
+        assert checker.main(targets) == 0, capsys.readouterr().out
+
+    def test_docs_exist(self):
+        assert (REPO / "docs" / "ARCHITECTURE.md").is_file()
+        assert (REPO / "docs" / "serving.md").is_file()
+
+    def test_readme_links_the_docs_set(self):
+        text = (REPO / "README.md").read_text(encoding="utf-8")
+        assert "docs/serving.md" in text
+        assert "docs/ARCHITECTURE.md" in text
+
+
+class TestCheckerBehaviour:
+    def test_broken_relative_link_detected(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text("see [missing](nope/gone.md)\n", encoding="utf-8")
+        problems = checker.check_file(md)
+        assert len(problems) == 1 and "gone.md" in problems[0]
+
+    def test_caret_in_link_text_still_checked(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text("[x^2 scaling](missing.md)\n", encoding="utf-8")
+        problems = checker.check_file(md)
+        assert len(problems) == 1 and "missing.md" in problems[0]
+
+    def test_good_relative_link_and_anchor_pass(self, tmp_path):
+        (tmp_path / "other.md").write_text("# other\n", encoding="utf-8")
+        md = tmp_path / "page.md"
+        md.write_text(
+            "[ok](other.md) [anchored](other.md#other) [self](#here)\n",
+            encoding="utf-8",
+        )
+        assert checker.check_file(md) == []
+
+    def test_absolute_urls_skipped_without_network(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text(
+            "[web](https://example.com/x) [mail](mailto:a@b.c)\n",
+            encoding="utf-8",
+        )
+        assert checker.check_file(md) == []
+
+    def test_code_fences_ignored(self, tmp_path):
+        md = tmp_path / "page.md"
+        md.write_text(
+            "```python\nx = d[key](arg)  # looks like a [link](target)\n```\n",
+            encoding="utf-8",
+        )
+        assert checker.check_file(md) == []
+
+    def test_missing_root_reported(self, capsys):
+        assert checker.main([str(REPO / "no-such-dir")]) == 2
+
+    def test_cli_exit_codes(self, tmp_path):
+        good = tmp_path / "good.md"
+        good.write_text("no links here\n", encoding="utf-8")
+        assert checker.main([str(good)]) == 0
+        bad = tmp_path / "bad.md"
+        bad.write_text("[x](missing.md)\n", encoding="utf-8")
+        assert checker.main([str(bad)]) == 1
+
+
+@pytest.mark.parametrize("doc", ["ARCHITECTURE.md", "serving.md"])
+def test_docs_mention_their_siblings(doc):
+    """The two docs cross-link each other (one navigable set)."""
+    text = (REPO / "docs" / doc).read_text(encoding="utf-8")
+    sibling = "serving.md" if doc == "ARCHITECTURE.md" else "ARCHITECTURE.md"
+    assert sibling in text

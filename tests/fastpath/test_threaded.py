@@ -137,3 +137,28 @@ class TestThreadedInference:
             rtol=0,
             atol=0,
         )
+
+
+class TestLazyPoolForkSafety:
+    """A pool started pre-fork must not be submitted to post-fork."""
+
+    def test_executor_recreated_when_pid_changes(self):
+        from repro.fastpath.threaded import _LazyPool
+
+        pool = _LazyPool(max_workers=2, thread_name_prefix="t")
+        first = pool.executor()
+        assert pool.executor() is first  # same process: cached
+        pool._pool_pid = -1  # simulate an inherited post-fork copy
+        second = pool.executor()
+        assert second is not first  # dead inherited executor was dropped
+        assert second.submit(lambda: 21 * 2).result(timeout=5.0) == 42
+        pool.shutdown()
+
+    def test_shutdown_skips_joining_inherited_threads(self):
+        from repro.fastpath.threaded import _LazyPool
+
+        pool = _LazyPool(max_workers=1, thread_name_prefix="t")
+        pool.executor()
+        pool._pool_pid = -1  # not ours: shutdown must not join, only drop
+        pool.shutdown()
+        assert not pool.started

@@ -1,0 +1,42 @@
+"""Shared fixtures for the serving tests: one tiny trained model on disk."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import UHDConfig
+from repro.core.model import UHDClassifier
+from repro.datasets import synthetic_mnist
+
+
+@pytest.fixture(scope="session")
+def serve_data():
+    """Small deterministic dataset the served model was trained on."""
+    return synthetic_mnist(n_train=200, n_test=64, seed=11)
+
+
+@pytest.fixture(scope="session")
+def served_model(serve_data):
+    """A small fitted UHDClassifier (packed backend, binarized inference)."""
+    model = UHDClassifier(
+        serve_data.num_pixels,
+        serve_data.num_classes,
+        UHDConfig(dim=256, backend="packed", binarize=True),
+    )
+    model.fit(serve_data.train_images, serve_data.train_labels)
+    return model
+
+
+@pytest.fixture(scope="session")
+def model_path(served_model, tmp_path_factory):
+    """The fitted model persisted once for every serving test to warm-load."""
+    path = tmp_path_factory.mktemp("serve") / "model.npz"
+    served_model.save(path)
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def direct_labels(served_model, serve_data) -> np.ndarray:
+    """Ground truth every served prediction must equal bit-for-bit."""
+    return served_model.predict(serve_data.test_images)

@@ -1,0 +1,77 @@
+"""CLI integration: repro-uhd serve / serve-check over a saved model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestServeCheckCli:
+    def test_serve_check_reports_probe(self, model_path, capsys):
+        assert main([
+            "serve-check", "--model", model_path, "--batch", "8",
+            "--repeats", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve-check OK" in out
+        assert "predictions deterministic" in out
+
+
+class TestServeCli:
+    def test_serve_round_trip_pool(self, model_path, capsys):
+        assert main([
+            "serve", "--model", model_path, "--workers", "2",
+            "--rounds", "2", "--batch", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "worker 0: ready" in out and "worker 1: ready" in out
+        assert "verify OK" in out  # bit-exact with UHDClassifier.predict
+        assert "shutdown clean" in out
+
+    def test_serve_in_process_fallback(self, model_path, capsys):
+        assert main([
+            "serve", "--model", model_path, "--workers", "0",
+            "--rounds", "1", "--batch", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "in-process fallback" in out
+        assert "verify OK" in out
+        assert "shutdown clean" in out
+
+    def test_serve_backend_override(self, model_path, capsys):
+        assert main([
+            "serve", "--model", model_path, "--workers", "1",
+            "--rounds", "1", "--batch", "4", "--backend", "threaded",
+        ]) == 0
+        assert "verify OK" in capsys.readouterr().out
+
+    def test_serve_requires_model(self):
+        with pytest.raises(SystemExit):
+            main(["serve"])
+
+    def test_serve_verifies_streaming_model_too(
+        self, serve_data, tmp_path, capsys
+    ):
+        """--verify must load generically, not assume UHDClassifier."""
+        from repro.core.config import UHDConfig
+        from repro.core.streaming import StreamingUHD
+
+        model = StreamingUHD(
+            serve_data.num_pixels,
+            serve_data.num_classes,
+            UHDConfig(dim=128, backend="packed", binarize=True),
+        )
+        model.fit(serve_data.train_images, serve_data.train_labels)
+        path = str(tmp_path / "streaming.npz")
+        model.save(path)
+        assert main([
+            "serve", "--model", path, "--workers", "1",
+            "--rounds", "1", "--batch", "4",
+        ]) == 0
+        assert "verify OK" in capsys.readouterr().out
+
+    def test_serve_listed_in_lifecycle_commands(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "serve-check" in out

@@ -1,0 +1,253 @@
+"""UHDServer: bit-exactness, splitting/reassembly, coalescing, lifecycle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    PredictionHandle,
+    ServeConfig,
+    ServeError,
+    UHDServer,
+    encoder_cache,
+    readiness_probe,
+)
+
+
+class TestServeConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"max_batch": 0},
+            {"max_wait_ms": -0.1},
+            {"queue_depth": 0},
+            {"restart_limit": -1},
+            {"start_method": "threads"},
+            {"probe_batch": 0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_unknown_backend_fails_at_start(self, model_path):
+        server = UHDServer(model_path, ServeConfig(workers=0, backend="nope"))
+        with pytest.raises(ValueError, match="unknown backend"):
+            server.start()
+
+
+class TestInProcessFallback:
+    def test_bit_exact_with_direct_predict(
+        self, model_path, serve_data, direct_labels
+    ):
+        with UHDServer(model_path, ServeConfig(workers=0, max_batch=16)) as server:
+            got = server.predict(serve_data.test_images)
+        assert np.array_equal(got, direct_labels)
+
+    def test_single_sample_request(self, model_path, serve_data, direct_labels):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            flat = serve_data.test_images[3].reshape(-1)  # (pixels,) vector
+            unflat = serve_data.test_images[3]  # (h, w) image
+            assert np.array_equal(server.predict(flat), direct_labels[3:4])
+            assert np.array_equal(server.predict(unflat), direct_labels[3:4])
+
+    def test_request_larger_than_max_batch_is_chunked(
+        self, model_path, serve_data, direct_labels
+    ):
+        config = ServeConfig(workers=0, max_batch=7)  # 64 test rows -> 10 chunks
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images)
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        assert stats.batches == -(-serve_data.test_images.shape[0] // 7)
+        assert stats.max_batch_seen <= 7
+
+    def test_empty_request_returns_empty_labels(self, model_path, serve_data):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            got = server.predict(serve_data.test_images[:0])
+        assert got.shape == (0,)
+
+    def test_wrong_pixel_count_rejected(self, model_path):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            with pytest.raises(ValueError, match="pixels"):
+                server.predict(np.zeros((2, 9), dtype=np.uint8))
+
+    def test_nonsquare_batch_totalling_num_pixels_rejected(self, model_path):
+        """(2, 392) must error, not be misread as one 784-pixel image."""
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            with pytest.raises(ValueError, match="pixels"):
+                server.predict(np.zeros((2, 392), dtype=np.uint8))
+
+    def test_submit_before_start_and_after_close_raise(self, model_path):
+        server = UHDServer(model_path, ServeConfig(workers=0))
+        with pytest.raises(ServeError, match="not started"):
+            server.predict(np.zeros(4, dtype=np.uint8))
+        server.start()
+        server.close()
+        with pytest.raises(ServeError, match="closed"):
+            server.predict(np.zeros(4, dtype=np.uint8))
+
+    def test_front_probe_reported(self, model_path):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            assert server.front_probe is not None
+            assert server.front_probe.deterministic
+            assert server.front_probe.median_s > 0
+
+
+class TestWorkerPool:
+    def test_bit_exact_with_direct_predict(
+        self, model_path, serve_data, direct_labels
+    ):
+        config = ServeConfig(workers=2, max_batch=16, max_wait_ms=1.0)
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images, timeout=30.0)
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        assert stats.mode == "pool"
+        assert len(stats.worker_probe_ms) == 2  # every worker probed ready
+
+    def test_single_sample_round_trips(
+        self, model_path, serve_data, direct_labels
+    ):
+        with UHDServer(model_path, ServeConfig(workers=1)) as server:
+            handles = [
+                server.submit(serve_data.test_images[i]) for i in range(8)
+            ]
+            for i, handle in enumerate(handles):
+                assert np.array_equal(
+                    handle.result(timeout=30.0), direct_labels[i:i + 1]
+                )
+
+    def test_oversized_request_split_and_reassembled_in_order(
+        self, model_path, serve_data, direct_labels
+    ):
+        config = ServeConfig(workers=2, max_batch=8)  # 64 rows -> 8 parts
+        with UHDServer(model_path, config) as server:
+            handle = server.submit(serve_data.test_images)
+            assert isinstance(handle, PredictionHandle)
+            got = handle.result(timeout=30.0)
+        assert np.array_equal(got, direct_labels)
+
+    def test_small_requests_coalesce(self, model_path, serve_data, direct_labels):
+        config = ServeConfig(workers=1, max_batch=64, max_wait_ms=50.0)
+        with UHDServer(model_path, config) as server:
+            handles = [
+                server.submit(serve_data.test_images[i]) for i in range(16)
+            ]
+            for i, handle in enumerate(handles):
+                assert np.array_equal(
+                    handle.result(timeout=30.0), direct_labels[i:i + 1]
+                )
+            stats = server.stats()
+        assert stats.requests == 16
+        # the batcher must have merged most single-image requests
+        assert stats.batches < 16
+        assert stats.max_batch_seen > 1
+
+    def test_backend_override_is_bit_exact(
+        self, model_path, serve_data, direct_labels
+    ):
+        config = ServeConfig(workers=1, backend="reference")
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images, timeout=30.0)
+        assert np.array_equal(got, direct_labels)
+
+    def test_close_is_idempotent(self, model_path, serve_data):
+        server = UHDServer(model_path, ServeConfig(workers=1)).start()
+        server.predict(serve_data.test_images[:4], timeout=30.0)
+        server.close()
+        server.close()
+
+    def test_graceful_close_drains_submitted_requests(
+        self, model_path, serve_data, direct_labels
+    ):
+        """A request submitted before close() completes within the drain
+        window — including one the dispatcher holds mid-flight."""
+        config = ServeConfig(workers=1, max_batch=16, max_wait_ms=0.0)
+        for _ in range(5):  # repeat to widen the pop-vs-register race window
+            server = UHDServer(model_path, config).start()
+            handle = server.submit(serve_data.test_images[:8])
+            server.close(drain_timeout=10.0)
+            assert np.array_equal(handle.result(timeout=5.0), direct_labels[:8])
+
+    def test_close_never_leaves_handles_hanging(self, model_path, serve_data):
+        """Requests still queued at close() fail loudly instead of hanging."""
+        config = ServeConfig(workers=1, max_batch=1, max_wait_ms=0.0)
+        server = UHDServer(model_path, config).start()
+        handles = [
+            server.submit(serve_data.test_images[i]) for i in range(40)
+        ]
+        server.close(drain_timeout=0.0)  # give queued requests no grace
+        completed = failed = 0
+        for handle in handles:
+            try:
+                handle.result(timeout=5.0)  # TimeoutError here = the bug
+                completed += 1
+            except ServeError:
+                failed += 1
+        assert completed + failed == len(handles)
+
+
+class TestEncoderCache:
+    def test_same_key_shares_one_encoder(self, served_model, serve_data):
+        cache = encoder_cache()
+        first = cache.get(serve_data.num_pixels, served_model.config)
+        second = cache.get(serve_data.num_pixels, served_model.config)
+        assert first is second
+
+    def test_front_end_model_uses_shared_encoder(self, model_path, served_model):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            shared = encoder_cache().get(
+                server.num_pixels, served_model.config
+            )
+            assert server._model.encoder is shared
+
+    def test_distinct_configs_get_distinct_encoders(self, served_model, serve_data):
+        from dataclasses import replace
+
+        cache = encoder_cache()
+        base = cache.get(serve_data.num_pixels, served_model.config)
+        other = cache.get(
+            serve_data.num_pixels, replace(served_model.config, seed=99)
+        )
+        assert base is not other
+
+    def test_adopt_installs_shared_encoder_and_returns_its_lock(
+        self, model_path, served_model, serve_data
+    ):
+        """Worker bootstrap relies on adopt() for fork-time table sharing."""
+        from repro.core.model import UHDClassifier
+
+        cache = encoder_cache()
+        loaded = UHDClassifier.load(model_path)
+        lock = cache.adopt(loaded)
+        assert loaded.encoder is cache.get(serve_data.num_pixels, loaded.config)
+        assert lock is cache.lock(serve_data.num_pixels, loaded.config)
+
+    def test_two_servers_same_key_share_one_encoder_lock(self, model_path):
+        """Concurrent in-process servers serialize on the *encoder's* lock."""
+        first = UHDServer(model_path, ServeConfig(workers=0)).start()
+        second = UHDServer(model_path, ServeConfig(workers=0)).start()
+        try:
+            assert first._model.encoder is second._model.encoder
+            assert first._encoder_lock is second._encoder_lock
+        finally:
+            first.close()
+            second.close()
+
+
+class TestReadinessProbe:
+    def test_probe_reports_latency_and_determinism(self, served_model, serve_data):
+        probe = readiness_probe(
+            served_model, serve_data.num_pixels, batch=4, repeats=2
+        )
+        assert probe.deterministic
+        assert probe.median_s > 0
+        assert probe.images_per_s > 0
+        assert probe.batch == 4
+
+    def test_probe_validates_arguments(self, served_model, serve_data):
+        with pytest.raises(ValueError):
+            readiness_probe(served_model, serve_data.num_pixels, batch=0)
