@@ -12,6 +12,14 @@ model and pushes the same stream of small predict requests through both:
   ``--max-batch`` rows inside a ``--max-wait-ms`` window, so the packed
   kernels see wide batches and the per-request fixed costs amortize.
 
+It also times **worker warm-start** (start() to every worker ready)
+per start method: ``worker_warmstart_fork`` (tables shared
+copy-on-write) and ``worker_warmstart_spawn`` — the latter measured
+both attaching the published tables (``table_store="shm"``) and
+rebuilding them (``table_store="heap"``), plus the per-worker table
+bytes a rebuild duplicates; the attach-vs-rebuild ratio is what the
+shared gather-table arena buys on spawn platforms.
+
 Labels are checked bit-exact against ``UHDClassifier.predict`` before
 anything is timed.  Results merge into ``BENCH_throughput.json``
 alongside the encode/predict rows ``run_bench.py`` records — the two
@@ -82,6 +90,110 @@ def _serve_scenario(
         times = [_time_round(server, queries) for _ in range(repeats)]
         stats = server.stats()
     return float(np.median(times)), stats.mean_batch_size
+
+
+def _time_warmstart(
+    model_path: str,
+    num_pixels: int,
+    workers: int,
+    start_method: str,
+    table_store: str,
+    repeats: int,
+) -> tuple[float, tuple[int, ...], int]:
+    """(median start-to-fully-warm seconds, worker_table_builds, table bytes).
+
+    "Fully warm" = every worker ready (spawn + model load + table
+    attach-or-build + readiness probe) *and* a pair-promotion-sized
+    request served.  Stopping at "ready" would flatter the rebuild
+    path, which lazily builds only the small single table up front and
+    pays the xi-times-larger pair build on the first real traffic;
+    attach hands workers the promoted table immediately.
+    """
+    from repro.fastpath import PackedLevelEncoder
+    from repro.serve import encoder_cache
+
+    rng = np.random.default_rng(123)
+    warm_batch = rng.integers(
+        0, 256,
+        size=(2 * PackedLevelEncoder.PAIR_PROMOTE_IMAGES, num_pixels),
+        dtype=np.uint8,
+    )
+    times: list[float] = []
+    builds: tuple[int, ...] = ()
+    for _ in range(repeats):
+        config = ServeConfig(
+            workers=workers,
+            start_method=start_method,
+            table_store=table_store,
+        )
+        start = time.perf_counter()
+        server = UHDServer(model_path, config).start()
+        server.predict(warm_batch, timeout=120.0)
+        times.append(time.perf_counter() - start)
+        builds = server.stats().worker_table_builds
+        server.close(drain_timeout=0.0)
+    table_bytes = encoder_cache().stats().table_bytes
+    return float(np.median(times)), builds, table_bytes
+
+
+def _warmstart_rows(
+    model_path: str, num_pixels: int, workers: int, repeats: int
+) -> list[dict]:
+    """``worker_warmstart_fork`` / ``worker_warmstart_spawn`` rows.
+
+    Fork attaches the front-end's tables copy-on-write; spawn is
+    measured both ways — attach (``table_store="shm"``) vs rebuild
+    (``table_store="heap"``, the handle cannot cross a spawn boundary) —
+    so the record shows exactly what the shared table arena buys on
+    spawn platforms.  ``table_bytes_per_worker`` is what each *rebuild*
+    duplicates and each attach shares.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    rows: list[dict] = []
+    base = {
+        "speedup_vs_reference": None,
+        "speedup_vs_packed": None,
+        "workers": workers,
+    }
+    if "fork" in methods:
+        fork_s, fork_builds, table_bytes = _time_warmstart(
+            model_path, num_pixels, workers, "fork", "heap", repeats
+        )
+        rows.append(
+            {
+                "name": "worker_warmstart_fork",
+                "median_s": fork_s,
+                "ops_per_s": workers / fork_s,
+                **base,
+                "table_store": "heap",
+                "worker_table_builds": list(fork_builds),
+                "table_bytes_per_worker": table_bytes,
+            }
+        )
+    if "spawn" in methods:
+        attach_s, attach_builds, table_bytes = _time_warmstart(
+            model_path, num_pixels, workers, "spawn", "shm", repeats
+        )
+        rebuild_s, rebuild_builds, _ = _time_warmstart(
+            model_path, num_pixels, workers, "spawn", "heap", repeats
+        )
+        rows.append(
+            {
+                "name": "worker_warmstart_spawn",
+                "median_s": attach_s,
+                "ops_per_s": workers / attach_s,
+                **base,
+                "table_store": "shm",
+                "worker_table_builds": list(attach_builds),
+                "table_bytes_per_worker": table_bytes,
+                "rebuild_median_s": rebuild_s,
+                "rebuild_worker_table_builds": list(rebuild_builds),
+                "speedup_attach_vs_rebuild": rebuild_s / attach_s,
+            }
+        )
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -161,6 +273,10 @@ def main(argv: list[str] | None = None) -> int:
         batched_s, batched_mean = _serve_scenario(
             model_path, batched, queries, expected, args.repeats
         )
+        warmstart_rows = _warmstart_rows(
+            model_path, model.num_pixels, max(1, args.workers),
+            max(2, args.repeats // 2),
+        )
     finally:
         if tmp is not None:
             os.unlink(tmp)
@@ -194,8 +310,22 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_vs_unbatched": unbatched_s / batched_s,
         },
     ]
+    rows.extend(warmstart_rows)
     print("serving throughput (median round over repeats, bit-exact verified):")
     for row in rows:
+        if row["name"].startswith("worker_warmstart"):
+            extra = ""
+            if "speedup_attach_vs_rebuild" in row:
+                extra = (
+                    f"  (attach {row['speedup_attach_vs_rebuild']:.1f}x vs "
+                    f"rebuild {row['rebuild_median_s'] * 1e3:.0f} ms)"
+                )
+            print(
+                f"  {row['name']:<22} {row['median_s'] * 1e3:8.1f} ms to warm "
+                f"builds/worker {row['worker_table_builds']}  "
+                f"table {row['table_bytes_per_worker'] / 1e6:.1f} MB shared{extra}"
+            )
+            continue
         extra = ""
         if "speedup_vs_unbatched" in row:
             extra = f"  ({row['speedup_vs_unbatched']:.1f}x vs unbatched)"

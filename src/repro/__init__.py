@@ -20,7 +20,9 @@ warm-started worker pool, readiness probing — see ``docs/serving.md``),
 (baseline HDC substrate), :mod:`repro.fastpath` (bit-packed and threaded
 backends: packed hypervectors, LUT encoding, popcount inference —
 bit-exact with the reference and selected via ``UHDConfig.backend``
-through the registry), :mod:`repro.unary` (unary bit-stream computing),
+through the registry — plus the shared gather-table stores of
+:mod:`repro.fastpath.tablestore`), :mod:`repro.unary` (unary bit-stream
+computing),
 :mod:`repro.lds` (low-discrepancy sequences), :mod:`repro.hardware`
 (gate-level netlists + 45 nm energy/area model), :mod:`repro.embedded`
 (ARM-class cost model for Table I), :mod:`repro.datasets`,
@@ -50,7 +52,7 @@ from .datasets import ImageDataset, load_dataset
 from .fastpath import PackedLevelEncoder, ThreadedLevelEncoder
 from .hdc import BaselineConfig, BaselineHDC, CentroidClassifier
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Backend",

@@ -11,7 +11,9 @@ This package is the stable surface a serving system builds against:
   core code, and ``UHDConfig.backend`` validates against the registry.
 * **Model persistence** (:func:`save_model` / :func:`load_model` /
   :class:`ModelFormatError`) — versioned ``.npz`` round-trips that are
-  bit-exact and never re-encode training data.
+  bit-exact and never re-encode training data; ``save_model(...,
+  include_tables=True)`` adds a :func:`table_sidecar_path` sidecar so a
+  load attaches the warm gather tables instead of rebuilding them.
 
 Quickstart::
 
@@ -57,6 +59,7 @@ __all__ = [
     "register_backend",
     "resolve_backend",
     "save_model",
+    "table_sidecar_path",
     "unregister_backend",
 ]
 
@@ -69,6 +72,7 @@ _LAZY = {
     "ModelFormatError": "persistence",
     "save_model": "persistence",
     "load_model": "persistence",
+    "table_sidecar_path": "persistence",
 }
 
 

@@ -9,9 +9,11 @@ Usage::
     repro-uhd checkpoints
     repro-uhd bench --out BENCH_throughput.json
     repro-uhd save --out model.npz --dataset mnist --dim 2048 --backend threaded
+    repro-uhd save --out model.npz --dim 2048 --include-tables
     repro-uhd load --model model.npz --dataset mnist
     repro-uhd serve-check --model model.npz --batch 64
     repro-uhd serve --model model.npz --workers 2 --rounds 3 --batch 16
+    repro-uhd serve --model model.npz --workers 2 --start-method spawn --table-store shm
 
 Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
 sizes; ``--backend`` accepts any backend registered with
@@ -169,24 +171,38 @@ def _load_split(name: str, n_train: int, n_test: int, seed: int):
 
 
 def _cmd_save(args: argparse.Namespace) -> str:
+    from .api.persistence import save_model, table_sidecar_path
     from .core.config import UHDConfig
     from .core.model import UHDClassifier
 
     data = _load_split(args.dataset, args.n_train, args.n_test, args.seed)
     config = UHDConfig(dim=args.dim, backend=args.backend)
     model = UHDClassifier(data.num_pixels, data.num_classes, config)
+    if args.include_tables and not hasattr(model.encoder, "export_tables"):
+        # fail before the (potentially long) fit, not after
+        raise SystemExit(
+            f"--include-tables: backend {args.backend!r} resolves to an "
+            "encoder without exportable gather tables; use a "
+            "packed-capable backend (auto/packed/threaded)"
+        )
     start = time.perf_counter()
     model.fit(data.train_images, data.train_labels)
     fit_s = time.perf_counter() - start
     accuracy = model.score(data.test_images, data.test_labels)
-    model.save(args.out)
-    return (
+    save_model(model, args.out, include_tables=args.include_tables)
+    lines = [
         f"trained UHDClassifier on {args.dataset} "
         f"(n={data.train_images.shape[0]}, D={args.dim}, "
         f"backend={args.backend}) in {fit_s:.2f}s; "
-        f"test accuracy {accuracy * 100.0:.2f}%\n"
-        f"saved model to {args.out}"
-    )
+        f"test accuracy {accuracy * 100.0:.2f}%",
+        f"saved model to {args.out}",
+    ]
+    if args.include_tables:
+        lines.append(
+            f"flushed warm gather tables to {table_sidecar_path(args.out)} "
+            "(loads will attach, not rebuild)"
+        )
+    return "\n".join(lines)
 
 
 def _cmd_load(args: argparse.Namespace) -> str:
@@ -249,6 +265,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         max_wait_ms=args.max_wait_ms,
         backend=args.backend,
         start_method=args.start_method,
+        table_store=args.table_store,
     )
     rng = np.random.default_rng(args.seed)
     lines: list[str] = []
@@ -264,10 +281,17 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             f"max_batch={config.max_batch}, "
             f"max_wait={config.max_wait_ms:g}ms)"
         )
+        builds = stats.worker_table_builds
         for slot, probe_ms in enumerate(stats.worker_probe_ms):
+            warm = ""
+            if slot < len(builds):
+                warm = (
+                    ", tables attached (0 builds)" if builds[slot] == 0
+                    else f", tables built ({builds[slot]})"
+                )
             lines.append(
                 f"  worker {slot}: ready, serve-check probe median "
-                f"{probe_ms:.3f} ms"
+                f"{probe_ms:.3f} ms{warm}"
             )
         queries = rng.integers(
             0, 256,
@@ -326,6 +350,11 @@ def _configure_save(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--out", required=True, help="output model (.npz) path")
     parser.add_argument("--dim", type=int, default=1024,
                         help="hypervector dimension D")
+    parser.add_argument(
+        "--include-tables", action="store_true",
+        help="also flush the warm gather tables to <out>.tables so "
+        "loads warm-start by attaching instead of rebuilding",
+    )
     _model_io_args(parser, needs_model=False)
     _backend_arg(parser)
 
@@ -363,6 +392,15 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         "--start-method", default="auto",
         choices=("auto", "fork", "spawn", "forkserver"),
         help="multiprocessing start method (auto = fork where available)",
+    )
+    parser.add_argument(
+        "--table-store", default="heap",
+        choices=("heap", "mmap", "shm"),
+        help="where the warm gather tables are published for workers to "
+        "attach: heap (fork shares copy-on-write; spawn rebuilds), mmap "
+        "(versioned table file, np.memmap attach) or shm "
+        "(multiprocessing.shared_memory) — mmap/shm make spawn workers "
+        "warm-start without rebuilding tables",
     )
     parser.add_argument(
         "--rounds", type=int, default=3,

@@ -19,6 +19,7 @@ import numpy as np
 
 from ..api.registry import get_backend
 from ..hdc.classifier import CentroidClassifier
+from ..utils.validation import as_image_batch
 from .config import UHDConfig
 
 __all__ = ["StreamingUHD"]
@@ -56,12 +57,26 @@ class StreamingUHD:
         )
         self.samples_seen = 0
 
+    def _as_batch(self, images: np.ndarray) -> np.ndarray:
+        """One accepted-shapes policy for *every* entry point.
+
+        ``partial_fit``, ``predict`` and ``score`` all normalize through
+        :func:`repro.utils.validation.as_image_batch` (the same helper
+        the serving layer uses), so an input accepted at train time can
+        never misbehave at predict time: a ``(pixels,)`` vector or an
+        unflattened square ``(h, h)`` image becomes a batch of 1 in all
+        three, identically.
+        """
+        return as_image_batch(images, self.num_pixels)
+
     def partial_fit(self, images: np.ndarray, labels: np.ndarray) -> "StreamingUHD":
         """Fold one batch into the class accumulators (O(batch) work)."""
-        images = np.atleast_3d(np.asarray(images))
-        if images.ndim == 2:  # single flattened image
-            images = images[None]
+        images = self._as_batch(images)
         labels = np.atleast_1d(np.asarray(labels))
+        if images.shape[0] != labels.size:
+            raise ValueError(
+                f"got {images.shape[0]} image(s) but {labels.size} label(s)"
+            )
         encoded = self.encoder.encode_batch(images)
         self.classifier.fit(encoded, labels)
         self.samples_seen += int(labels.size)
@@ -75,14 +90,16 @@ class StreamingUHD:
         """Labels under the model accumulated so far."""
         if self.samples_seen == 0:
             raise RuntimeError("no samples seen yet")
-        return self.classifier.predict(self.encoder.encode_batch(np.asarray(images)))
+        return self.classifier.predict(
+            self.encoder.encode_batch(self._as_batch(images))
+        )
 
     def score(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy under the model accumulated so far."""
         if self.samples_seen == 0:
             raise RuntimeError("no samples seen yet")
         return self.classifier.score(
-            self.encoder.encode_batch(np.asarray(images)), np.asarray(labels)
+            self.encoder.encode_batch(self._as_batch(images)), np.asarray(labels)
         )
 
     def evaluate_prequential(

@@ -77,6 +77,20 @@ from .bitops import (
     unpack_bits,
 )
 from .encoder import PackedLevelEncoder
+from .tablestore import (
+    HeapStore,
+    MmapStore,
+    SharedMemoryStore,
+    TableFormatError,
+    TableHandle,
+    TableSet,
+    TableStore,
+    attach_handle,
+    make_store,
+    read_table_file,
+    table_key,
+    write_table_file,
+)
 from .inference import (
     pack_accumulators,
     packed_cosine,
@@ -89,13 +103,25 @@ __all__ = [
     "AutoBackend",
     "BACKENDS",
     "HAS_BITWISE_COUNT",
+    "HeapStore",
+    "MmapStore",
     "PackedBackend",
     "PackedLevelEncoder",
     "ReferenceBackend",
+    "SharedMemoryStore",
+    "TableFormatError",
+    "TableHandle",
+    "TableSet",
+    "TableStore",
     "ThreadedBackend",
     "ThreadedLevelEncoder",
+    "attach_handle",
     "encoder_backend",
     "make_encoder",
+    "make_store",
+    "read_table_file",
+    "table_key",
+    "write_table_file",
     "pack_accumulators",
     "pack_bipolar",
     "pack_bits",

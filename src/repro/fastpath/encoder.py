@@ -46,6 +46,7 @@ from ..core.config import UHDConfig
 from ..core.encoder import SobolLevelEncoder
 from ..lds.quantize import quantize_intensity
 from .bitops import WORD_BITS, pack_bits, words_for_bits
+from .tablestore import TableSet, table_key
 
 __all__ = ["PackedLevelEncoder"]
 
@@ -120,6 +121,12 @@ class PackedLevelEncoder(SobolLevelEncoder):
 
     #: images seen before the pair table is worth its build + memory cost
     PAIR_PROMOTE_IMAGES = 128
+    #: nibble-lane accumulation geometry per table kind: rows folded per
+    #: chunk before a lane could overflow (single: lane counts <= 1, 15
+    #: rows; pair: lane counts <= 2, 7 rows).  attach_tables and the
+    #: build path both read these — they must never diverge
+    SINGLE_CHUNK_ROWS = 15
+    PAIR_CHUNK_ROWS = 7
     #: default ceiling for the pair table footprint, bytes
     PAIR_LUT_BUDGET = 192 * 1024 * 1024
     #: uint16 lane headroom: per-dimension counts may reach H
@@ -148,6 +155,13 @@ class PackedLevelEncoder(SobolLevelEncoder):
         self._single_lut: np.ndarray | None = None
         self._workspaces: dict[int, _Workspace] = {}
         self._images_seen = 0
+        #: gather-table constructions this instance performed (the
+        #: build-vs-attach observability hook: an encoder that attached a
+        #: published table serves with this still at 0)
+        self.table_builds = 0
+        #: anything keeping attached table bytes alive (e.g. an open
+        #: SharedMemory segment) — see repro.fastpath.tablestore.TableSet
+        self._table_owner = None
         self._take_index = self._lane_permutation()
         self._intensity_lut = quantize_intensity(
             np.arange(256, dtype=np.uint8), config.levels
@@ -180,6 +194,7 @@ class PackedLevelEncoder(SobolLevelEncoder):
 
     def _build_single_lut(self) -> np.ndarray:
         """Nibble-spread rows ``[t >= codes[p, :]]`` for every (pixel, level)."""
+        self.table_builds += 1
         levels = self.config.levels
         codes = self.quantized_codes
         packed = np.empty(
@@ -203,6 +218,7 @@ class PackedLevelEncoder(SobolLevelEncoder):
 
     def _build_pair_table(self, single_lut: np.ndarray) -> _GatherTable:
         """Fold pixel pairs into one keyed row (lane counts reach 2)."""
+        self.table_builds += 1
         levels = self.config.levels
         full = self.num_pixels // 2
         paired = (
@@ -215,7 +231,8 @@ class PackedLevelEncoder(SobolLevelEncoder):
             tail = np.repeat(single_lut[-1], levels, axis=0)[None]
             paired = np.concatenate([paired, tail], axis=0)
         return _GatherTable(
-            paired, group=2, num_rows=paired.shape[0], chunk_rows=7
+            paired, group=2, num_rows=paired.shape[0],
+            chunk_rows=self.PAIR_CHUNK_ROWS,
         )
 
     def _ensure_table(self) -> _GatherTable:
@@ -225,7 +242,7 @@ class PackedLevelEncoder(SobolLevelEncoder):
                 self._single_lut,
                 group=1,
                 num_rows=self.num_pixels,
-                chunk_rows=15,
+                chunk_rows=self.SINGLE_CHUNK_ROWS,
             )
         if (
             self._table.group == 1
@@ -234,6 +251,7 @@ class PackedLevelEncoder(SobolLevelEncoder):
         ):
             self._table = self._build_pair_table(self._single_lut)
             self._single_lut = None  # pair table subsumes it; free the memory
+            self._table_owner = None  # heap-built pair: attached bytes unneeded
             self._workspaces.clear()
         return self._table
 
@@ -243,6 +261,89 @@ class PackedLevelEncoder(SobolLevelEncoder):
             ws = _Workspace(table, batch, self._spread_words)
             self._workspaces[batch] = ws
         return ws
+
+    # ------------------------------------------------------------------
+    # Table export / attach (see repro.fastpath.tablestore)
+    # ------------------------------------------------------------------
+    @property
+    def tables_ready(self) -> bool:
+        """Whether a gather table exists (built or attached)."""
+        return self._table is not None
+
+    @property
+    def table_nbytes(self) -> int:
+        """Bytes of gather-table state currently held (0 when cold).
+
+        ``_single_lut`` is the same buffer the single ``_GatherTable``
+        reshapes, and promotion frees it, so the current table's flat
+        array is the whole footprint.
+        """
+        return 0 if self._table is None else int(self._table.flat.nbytes)
+
+    def export_tables(self, promote: bool = False) -> TableSet:
+        """Snapshot the current gather table for publication.
+
+        Builds the single table first if the encoder is still cold (an
+        export must have something to export); with ``promote=True`` the
+        pair promotion is forced first (budget permitting) so attachers
+        inherit the fully warmed state regardless of ``_images_seen``.
+        The returned arrays are the encoder's own — treat them as
+        read-only, exactly like every other consumer of the tables.
+        """
+        if promote and self._pair_eligible():
+            self._images_seen = max(self._images_seen, self.PAIR_PROMOTE_IMAGES)
+        table = self._ensure_table()
+        flat = table.flat.reshape(
+            table.num_rows, table.keys_per_row, self._spread_words
+        )
+        return TableSet(
+            kind="pair" if table.group == 2 else "single",
+            flat=flat,
+            key=table_key(self.num_pixels, self.config),
+            images_seen=self._images_seen,
+        )
+
+    def attach_tables(self, tables: TableSet) -> None:
+        """Install a published gather table zero-copy (never rebuild).
+
+        The tables must have been exported by an encoder with the same
+        :func:`repro.fastpath.tablestore.table_key` — geometry mismatches
+        raise :class:`~repro.fastpath.tablestore.TableFormatError`.
+        Attached bytes are byte-identical to built ones (the stores only
+        move bytes), so every subsequent encode is bit-exact with a
+        freshly built encoder; ``table_builds`` stays untouched.  An
+        encoder that already has a table refuses to attach (the warm
+        state might be *more* promoted than the publication).
+        """
+        from .tablestore import TableFormatError
+
+        if self._table is not None:
+            raise RuntimeError(
+                "encoder already has a gather table; attach_tables only "
+                "applies to a cold encoder"
+            )
+        tables.validate_against(self.num_pixels, self.config)
+        levels = self.config.levels
+        if tables.kind == "single":
+            want = (self.num_pixels, levels, self._spread_words)
+            group, chunk_rows = 1, self.SINGLE_CHUNK_ROWS
+        else:
+            pair_rows = (self.num_pixels + 1) // 2
+            want = (pair_rows, levels * levels, self._spread_words)
+            group, chunk_rows = 2, self.PAIR_CHUNK_ROWS
+        if tuple(tables.flat.shape) != want:
+            raise TableFormatError(
+                f"{tables.kind} table shape {tuple(tables.flat.shape)} does "
+                f"not match this encoder's {want}"
+            )
+        self._table = _GatherTable(
+            tables.flat, group=group, num_rows=want[0], chunk_rows=chunk_rows
+        )
+        # keep the 3-D view for a later (heap-built) pair promotion
+        self._single_lut = tables.flat if tables.kind == "single" else None
+        self._images_seen = max(self._images_seen, tables.images_seen)
+        self._table_owner = tables.owner
+        self._workspaces.clear()
 
     # ------------------------------------------------------------------
     # Encoding

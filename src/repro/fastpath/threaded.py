@@ -127,6 +127,16 @@ class ThreadedLevelEncoder(PackedLevelEncoder):
     def max_workers(self) -> int:
         return self._lazy_pool.max_workers
 
+    def attach_tables(self, tables) -> None:
+        """Install a published table under the table lock (see parent).
+
+        The lock orders the attach against a concurrent ``encode_batch``'s
+        table resolution; the generation bump happens naturally on the
+        next encode (``table is not self._last_table``).
+        """
+        with self._table_lock:
+            super().attach_tables(tables)
+
     def _executor(self) -> ThreadPoolExecutor:
         return self._lazy_pool.executor()
 

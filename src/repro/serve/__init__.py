@@ -21,7 +21,10 @@ The pieces (see ``docs/serving.md`` for the operator guide and
 * :class:`MicroBatcher` — the bounded coalescing queue (reusable on its
   own).
 * :class:`EncoderCache` / :func:`encoder_cache` — process-wide shared
-  warm encoders.
+  warm encoders, plus the publish step that exports warm gather tables
+  into a :mod:`repro.fastpath.tablestore` store so workers *attach*
+  instead of rebuild (``ServeConfig(table_store="mmap"/"shm")`` makes
+  that work under ``spawn`` too, not just fork copy-on-write).
 * :func:`readiness_probe` — the shared serve-check implementation.
 
 Quickstart::
@@ -36,7 +39,7 @@ splits, coalesces and routes, but never transforms data.
 """
 
 from .batcher import MicroBatcher
-from .cache import EncoderCache, encoder_cache
+from .cache import CacheStats, EncoderCache, encoder_cache
 from .probe import ProbeResult, readiness_probe
 from .server import UHDServer
 from .types import (
@@ -48,6 +51,7 @@ from .types import (
 )
 
 __all__ = [
+    "CacheStats",
     "EncoderCache",
     "MicroBatcher",
     "PredictionHandle",

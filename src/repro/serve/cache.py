@@ -27,6 +27,7 @@ Two serving-specific consequences:
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -34,8 +35,25 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.config import UHDConfig
     from ..core.encoder import SobolLevelEncoder
+    from ..fastpath.tablestore import TableHandle, TableStore
 
-__all__ = ["EncoderCache", "encoder_cache"]
+__all__ = ["CacheStats", "EncoderCache", "encoder_cache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time :meth:`EncoderCache.stats` snapshot.
+
+    ``table_bytes`` sums the gather-table footprint across cached
+    encoders (0 for cold/reference encoders); ``published`` lists one
+    ``(store_name, kind, nbytes)`` tuple per live publication, so a
+    long-lived server can see exactly which tables it is exporting and
+    how big they are.
+    """
+
+    entries: int
+    table_bytes: int
+    published: tuple[tuple[str, str, int], ...]
 
 
 class EncoderCache:
@@ -53,6 +71,9 @@ class EncoderCache:
     def __init__(self) -> None:
         self._encoders: dict[tuple[int, "UHDConfig"], "SobolLevelEncoder"] = {}
         self._encoder_locks: dict[tuple[int, "UHDConfig"], threading.Lock] = {}
+        #: (key, store name) -> (store, handle, kind, nbytes) for every
+        #: table this cache has published and not yet released
+        self._published: dict[tuple, tuple] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -108,6 +129,16 @@ class EncoderCache:
         num_pixels = getattr(model, "num_pixels", None)
         if config is None or num_pixels is None or not hasattr(model, "encoder"):
             return None
+        key = (int(num_pixels), config)
+        with self._lock:
+            if key not in self._encoders and getattr(
+                model.encoder, "tables_ready", False
+            ):
+                # the model arrived with warm tables (a sidecar attach, a
+                # trained-in-process model): seed the cache with them so
+                # nobody rebuilds what already exists
+                self._encoders[key] = model.encoder
+                self._encoder_locks.setdefault(key, threading.Lock())
         model.encoder = self.get(num_pixels, config)
         return self.lock(num_pixels, config)
 
@@ -131,11 +162,79 @@ class EncoderCache:
             encoder.encode_batch(images)
         return encoder
 
+    # ------------------------------------------------------------------
+    # Table publication (see repro.fastpath.tablestore)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        num_pixels: int,
+        config: "UHDConfig",
+        store: "TableStore",
+        promote: bool = True,
+    ) -> "TableHandle | None":
+        """Export the shared encoder's gather tables into ``store``.
+
+        Returns the picklable :class:`~repro.fastpath.tablestore.TableHandle`
+        workers attach through, or ``None`` when this key's encoder has no
+        exportable tables (the reference encoder).  Publishing the same
+        ``(key, store)`` twice reuses the first handle — the tables are
+        deterministic, so a second export could only produce the same
+        bytes.  ``promote=True`` forces the pair promotion first so
+        attachers inherit the fully warmed state.
+        """
+        encoder = self.get(num_pixels, config)
+        if not hasattr(encoder, "export_tables"):
+            return None
+        key = ((int(num_pixels), config), store.name)
+        with self._lock:
+            entry = self._published.get(key)
+            if entry is not None and entry[0] is store:
+                return entry[1]
+        with self.lock(num_pixels, config):  # export may build/promote
+            tables = encoder.export_tables(promote=promote)
+        handle = store.publish(tables)
+        with self._lock:
+            self._published[key] = (store, handle, tables.kind, tables.nbytes)
+        return handle
+
+    def release_store(self, store: "TableStore") -> None:
+        """Forget (and close) every publication living in ``store``.
+
+        The store owns the bytes — closing it unlinks shared-memory
+        segments / deletes mmap files — so the cache must stop handing
+        out its handles first.
+        """
+        with self._lock:
+            dead = [k for k, entry in self._published.items() if entry[0] is store]
+            for key in dead:
+                del self._published[key]
+        store.close()
+
+    def stats(self) -> CacheStats:
+        """Entries, table bytes, and live publications (observability)."""
+        with self._lock:
+            encoders = list(self._encoders.values())
+            published = tuple(
+                (store.name, kind, nbytes)
+                for store, _handle, kind, nbytes in self._published.values()
+            )
+        table_bytes = sum(
+            int(getattr(encoder, "table_nbytes", 0)) for encoder in encoders
+        )
+        return CacheStats(
+            entries=len(encoders), table_bytes=table_bytes, published=published
+        )
+
     def clear(self) -> None:
-        """Drop every cached encoder (tests / reconfiguration)."""
+        """Drop every cached encoder and release every published store
+        handle (tests / reconfiguration / long-lived server resets)."""
         with self._lock:
             self._encoders.clear()
             self._encoder_locks.clear()
+            published = list(self._published.values())
+            self._published.clear()
+        for store, handle, _kind, _nbytes in published:
+            store.release(handle)
 
 
 _CACHE = EncoderCache()

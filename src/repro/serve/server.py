@@ -154,6 +154,11 @@ class UHDServer:
         self._batch_ids = itertools.count()
         self._ctx: Any = None
         self._threads: list[threading.Thread] = []
+        #: table-store plumbing: the store this server owns (None until
+        #: start(), and forever in workers=0 mode) and the published
+        #: handle workers attach through
+        self._table_store: Any = None
+        self._table_handle: Any = None
         #: test hook — the next N dispatched batches kill their worker
         self._crash_next = 0
 
@@ -170,6 +175,7 @@ class UHDServer:
             get_backend(self.config.backend)  # fail fast on unknown names
         self._load_front_end()
         if self.config.workers > 0:
+            self._publish_tables()
             self._start_pool()
         self._started = True
         self._accepting = True
@@ -198,8 +204,11 @@ class UHDServer:
             cache = encoder_cache()
             self._encoder_lock = cache.lock(self._num_pixels, model_config)
             with self._encoder_lock:
-                cache.warm(self._num_pixels, model_config)
+                # adopt BEFORE warm: a model that arrived with warm
+                # tables (a .tables sidecar attach) seeds the cache, so
+                # warm() exercises those tables instead of rebuilding
                 cache.adopt(model)
+                cache.warm(self._num_pixels, model_config)
                 self._front_probe = readiness_probe(
                     model, self._num_pixels,
                     batch=self.config.probe_batch, repeats=1,
@@ -211,6 +220,26 @@ class UHDServer:
                 batch=self.config.probe_batch, repeats=1,
             )
         self._model = model
+
+    def _publish_tables(self) -> None:
+        """Publish the warm front-end tables so workers attach, not rebuild.
+
+        Runs after :meth:`_load_front_end` (the encoder is warm and the
+        cache knows its key) and before any worker spawns, so every
+        worker generation — bootstrap and crash-respawn alike — receives
+        a handle to already-materialized tables.  Models without
+        exportable tables (reference encoders) publish nothing and
+        workers build as before.
+        """
+        model_config = getattr(self._model, "config", None)
+        if model_config is None or not hasattr(self._model, "encoder"):
+            return
+        from ..fastpath.tablestore import make_store
+
+        self._table_store = make_store(self.config.table_store)
+        self._table_handle = encoder_cache().publish(
+            self._num_pixels, model_config, self._table_store
+        )
 
     def _start_pool(self) -> None:
         self._ctx = multiprocessing.get_context(
@@ -272,6 +301,7 @@ class UHDServer:
             self.model_path,
             self.config.backend,
             self.config.probe_batch,
+            self._table_handle,
         )
 
     def __enter__(self) -> "UHDServer":
@@ -287,10 +317,14 @@ class UHDServer:
         fail with :class:`ServeError` rather than hanging their callers.
         """
         if self._closed or not self._started:
+            # a failed start() may have published tables before dying —
+            # release them even though the server never came up
+            self._release_tables()
             self._closed = True
             return
         self._accepting = False
         if self.config.workers == 0:
+            self._release_tables()  # no-op: workers=0 never publishes
             self._closed = True
             return
         if self._batcher is not None:
@@ -320,41 +354,31 @@ class UHDServer:
             thread.join(timeout=5.0)
         for handle in self._workers:
             handle.stop()
+        self._release_tables()
         self._closed = True
+
+    def _release_tables(self) -> None:
+        """Tear down this server's published tables (workers are gone).
+
+        Ordered after worker stop so no live worker reads an unlinked
+        shared-memory segment or a deleted table file; safe either way
+        on POSIX (open mappings survive unlink), but the ordering keeps
+        the lifecycle story simple.
+        """
+        if self._table_store is not None:
+            encoder_cache().release_store(self._table_store)
+            self._table_store = None
+            self._table_handle = None
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
     def _check_images(self, images: Any) -> np.ndarray:
-        arr = np.asarray(images)
-        if arr.ndim == 1:
-            arr = arr[None, :]  # single sample
-        elif (
-            arr.ndim == 2
-            and self._num_pixels is not None
-            and arr.shape[1] != self._num_pixels
-            and arr.size == self._num_pixels
-            and arr.shape[0] == arr.shape[1]
-        ):
-            # one unflattened square (h, h) image — the only 2-D shape we
-            # dare reinterpret; a same-sized non-square array (e.g. a
-            # (2, 392) batch of half-width rows) falls through to the
-            # pixel-count error instead of silently becoming one image
-            arr = arr.reshape(1, -1)
-        if arr.ndim > 2:
-            # explicit trailing size: reshape(0, -1) is ambiguous on numpy
-            arr = arr.reshape(arr.shape[0], int(np.prod(arr.shape[1:])))
-        if arr.ndim != 2:
-            raise ValueError(
-                f"images must be (n, pixels), (n, h, w) or a single (pixels,) "
-                f"vector, got shape {np.asarray(images).shape}"
-            )
-        if self._num_pixels is not None and arr.shape[1] != self._num_pixels:
-            raise ValueError(
-                f"images have {arr.shape[1]} pixels, model expects "
-                f"{self._num_pixels}"
-            )
-        return arr
+        # the one shared accepted-shapes policy (square-image
+        # disambiguation included) — StreamingUHD normalizes identically
+        from ..utils.validation import as_image_batch
+
+        return as_image_batch(images, self._num_pixels)
 
     def submit(self, images: Any, timeout: float | None = None) -> PredictionHandle:
         """Enqueue a prediction request; returns a :class:`PredictionHandle`.
@@ -556,7 +580,10 @@ class UHDServer:
             with self._cv:
                 worker.state = "idle"
                 worker.probe_median_s = msg[2]
+                worker.table_builds = int(msg[3]) if len(msg) > 3 else None
                 self._stats.probe_ms[slot] = msg[2] * 1e3
+                if worker.table_builds is not None:
+                    self._stats.table_builds[slot] = worker.table_builds
                 self._idle.append(worker)
                 self._cv.notify_all()
         elif kind == "fatal":

@@ -78,6 +78,16 @@ class ServeConfig:
         front-end's already-warm gather tables copy-on-write),
         ``"spawn"``, ``"forkserver"``, or ``"auto"`` (fork where the
         platform offers it, else spawn).
+    table_store:
+        Where the front-end publishes its warm gather tables for workers
+        to *attach* instead of rebuild (:mod:`repro.fastpath.tablestore`):
+        ``"heap"`` (default — process heap; fork children share
+        copy-on-write, spawn children rebuild), ``"mmap"`` (versioned
+        table file in a server-owned temp directory, attached read-only
+        via ``np.memmap``) or ``"shm"`` (``multiprocessing.shared_memory``,
+        unlinked when the server closes).  With ``mmap``/``shm`` a
+        ``spawn``-started worker warm-starts in O(1) table bytes, same
+        as fork.
     ready_timeout_s:
         How long to wait for every worker's readiness probe at startup
         before failing with :class:`ServeError`.
@@ -93,6 +103,7 @@ class ServeConfig:
     queue_depth: int = 256
     restart_limit: int = 3
     start_method: str = "auto"
+    table_store: str = "heap"
     ready_timeout_s: float = 60.0
     probe_batch: int = 8
 
@@ -113,6 +124,11 @@ class ServeConfig:
             raise ValueError(
                 "start_method must be one of 'auto', 'fork', 'spawn', "
                 f"'forkserver', got {self.start_method!r}"
+            )
+        if self.table_store not in ("heap", "mmap", "shm"):
+            raise ValueError(
+                "table_store must be one of 'heap', 'mmap', 'shm', "
+                f"got {self.table_store!r}"
             )
         if self.probe_batch < 1:
             raise ValueError(f"probe_batch must be >= 1, got {self.probe_batch}")
@@ -135,6 +151,10 @@ class ServerStats:
     mean_batch_size: float
     restarts: int  #: worker respawns performed (crash recovery)
     worker_probe_ms: tuple[float, ...]  #: readiness-probe latency per worker
+    #: gather-table builds each worker performed during bootstrap — 0 means
+    #: the worker *attached* the published tables (fork copy-on-write, or a
+    #: mmap/shm table store under spawn) instead of rebuilding them
+    worker_table_builds: tuple[int, ...] = ()
 
 
 class PredictionHandle:
@@ -205,6 +225,7 @@ class _StatCounters:
     max_batch_seen: int = 0
     restarts: int = 0
     probe_ms: dict[int, float] = field(default_factory=dict)
+    table_builds: dict[int, int] = field(default_factory=dict)
 
     def record_batch(self, rows: int) -> None:
         self.batches += 1
@@ -224,5 +245,8 @@ class _StatCounters:
             restarts=self.restarts,
             worker_probe_ms=tuple(
                 self.probe_ms[k] for k in sorted(self.probe_ms)
+            ),
+            worker_table_builds=tuple(
+                self.table_builds[k] for k in sorted(self.table_builds)
             ),
         )

@@ -31,10 +31,22 @@ parent -> worker, on the worker's task pipe::
 
 worker -> parent, on the worker's result pipe::
 
-    ("ready", slot, probe_median_s)      # bootstrap + probe succeeded
+    ("ready", slot, probe_median_s, table_builds)
+                                         # bootstrap + probe succeeded;
+                                         # table_builds counts gather tables
+                                         # this worker *built* (0 = attached)
     ("fatal", slot, message)             # bootstrap failed; worker exited
     ("result", slot, batch_id, labels)
     ("error", slot, batch_id, message)   # predict raised; worker lives on
+
+Warm-start economics: the parent passes a
+:class:`repro.fastpath.tablestore.TableHandle` for its already-published
+gather tables.  The worker *attaches* those tables (zero-copy — a
+read-only memmap or shared-memory view) before the readiness probe, so
+bootstrap is O(1) in table size regardless of start method.  Attach
+failure is never fatal: an unresolvable handle (heap handle under
+``spawn``, vanished file) falls back to building the table locally —
+the pre-store behavior — and the build shows up in ``table_builds``.
 
 ``slot`` is the worker's stable index in the pool; a restarted worker
 reuses its slot (the parent tracks generations).
@@ -64,6 +76,7 @@ def worker_main(
     task_conn: Any,
     result_conn: Any,
     seed: int = 0,
+    table_handle: Any = None,
 ) -> None:
     """Entry point of one worker process (top-level, hence spawn-picklable).
 
@@ -86,10 +99,17 @@ def worker_main(
         # under fork, this process's encoder cache is a copy-on-write view
         # of the parent's — adopting its (already warm) entry shares the
         # gather tables instead of rebuilding them per worker; under spawn
-        # the cache is cold and this builds the worker's own entry once
+        # the cache is cold and the published table handle (if any,
+        # resolvable) is attached so the probe below never triggers a build
         from .cache import encoder_cache
 
         encoder_cache().adopt(model)
+        _attach_published_tables(model, table_handle)
+        # delta, not the raw counter: a forked worker adopts the parent's
+        # encoder whose counter already records the *parent's* builds —
+        # only builds from here on happened in this process
+        encoder = getattr(model, "encoder", None)
+        builds_before = int(getattr(encoder, "table_builds", 0))
         probe = readiness_probe(
             model,
             num_pixels,
@@ -97,13 +117,14 @@ def worker_main(
             repeats=PROBE_REPEATS,
             seed=seed,
         )
+        table_builds = int(getattr(encoder, "table_builds", 0)) - builds_before
     except BaseException:
         try:
             result_conn.send(("fatal", slot, traceback.format_exc(limit=8)))
         except (BrokenPipeError, OSError):  # parent already gone
             pass
         return
-    result_conn.send(("ready", slot, probe.median_s))
+    result_conn.send(("ready", slot, probe.median_s, table_builds))
     while True:
         try:
             task = task_conn.recv()
@@ -126,6 +147,31 @@ def worker_main(
             result_conn.send(("result", slot, batch_id, labels))
 
 
+def _attach_published_tables(model: Any, table_handle: Any) -> None:
+    """Attach the parent's published gather tables onto ``model``'s encoder.
+
+    No-ops (never raises toward the caller's happy path) when there is no
+    handle, the encoder cannot attach, the encoder is already warm (the
+    fork + copy-on-write case), or the handle does not resolve in this
+    process (a heap handle under ``spawn`` — the worker then builds its
+    own table, which is the pre-store behavior).  A *resolvable but
+    mismatched* publication raises: that is a real bug, not a fallback.
+    """
+    if table_handle is None:
+        return
+    encoder = getattr(model, "encoder", None)
+    if encoder is None or not hasattr(encoder, "attach_tables"):
+        return
+    if getattr(encoder, "tables_ready", False):
+        return  # already warm via the forked cache entry
+    from ..fastpath.tablestore import attach_handle
+
+    tables = attach_handle(table_handle)
+    if tables is None:
+        return
+    encoder.attach_tables(tables)
+
+
 class WorkerHandle:
     """Parent-side view of one worker slot: process, queue, and state.
 
@@ -146,6 +192,8 @@ class WorkerHandle:
         self.state = "starting"
         self.busy_batch: Any = None  #: the _Batch currently on this worker
         self.probe_median_s: float | None = None
+        #: gather tables the worker built during bootstrap (0 = attached)
+        self.table_builds: int | None = None
 
     def alive(self) -> bool:
         return self.process is not None and self.process.is_alive()
@@ -187,6 +235,7 @@ def spawn_worker(
     model_path: str,
     backend: str | None,
     probe_batch: int,
+    table_handle: Any = None,
 ) -> WorkerHandle:
     """(Re)spawn the process for ``handle``'s slot with fresh pipes.
 
@@ -211,6 +260,8 @@ def spawn_worker(
             probe_batch,
             task_reader,
             result_writer,
+            0,  # probe seed
+            table_handle,
         ),
         name=f"uhd-serve-worker-{handle.slot}.{handle.generation}",
         daemon=True,

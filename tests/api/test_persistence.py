@@ -332,3 +332,116 @@ class TestConfigJson:
         config = config_from_json(json.dumps({"dim": 4096}), UHDConfig)
         assert config.dim == 4096
         assert config.levels == 16
+
+
+class TestTableSidecar:
+    """save_model(include_tables=True): warm-start from disk, no rebuild."""
+
+    def _fitted(self, tiny_digits, backend="packed"):
+        config = UHDConfig(dim=128, backend=backend, binarize=True)
+        return UHDClassifier(
+            tiny_digits.num_pixels, tiny_digits.num_classes, config
+        ).fit(tiny_digits.train_images, tiny_digits.train_labels)
+
+    def test_sidecar_written_and_attached(self, tiny_digits, tmp_path):
+        from repro.api import table_sidecar_path
+
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path, include_tables=True)
+        sidecar = table_sidecar_path(path)
+        assert (tmp_path / "model.npz.tables").exists()
+        assert sidecar == str(path) + ".tables"
+        loaded = load_model(path)
+        # tables attached, not rebuilt: counter never moved, yet warm
+        assert loaded.encoder.tables_ready
+        assert loaded.encoder.table_builds == 0
+        np.testing.assert_array_equal(
+            loaded.predict(tiny_digits.test_images),
+            model.predict(tiny_digits.test_images),
+        )
+
+    def test_sidecar_attaches_promoted_pair_table(self, tiny_digits, tmp_path):
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path, include_tables=True)
+        loaded = load_model(path)
+        assert loaded.encoder._table.group == 2  # no re-promotion needed
+
+    def test_sidecar_serves_rehomed_backend(self, tiny_digits, tmp_path):
+        """The table key excludes backend: a packed sidecar warms a
+        threaded load."""
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path, include_tables=True)
+        loaded = load_model(path, backend="threaded")
+        assert loaded.encoder.tables_ready
+        assert loaded.encoder.table_builds == 0
+        np.testing.assert_array_equal(
+            loaded.predict(tiny_digits.test_images),
+            model.predict(tiny_digits.test_images),
+        )
+
+    def test_missing_sidecar_is_fine(self, tiny_digits, tmp_path):
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path)  # no sidecar
+        loaded = load_model(path)
+        assert not loaded.encoder.tables_ready  # lazy as always
+        np.testing.assert_array_equal(
+            loaded.predict(tiny_digits.test_images),
+            model.predict(tiny_digits.test_images),
+        )
+
+    def test_mismatched_sidecar_rejected(self, tiny_digits, tmp_path):
+        from repro.api import table_sidecar_path
+
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path, include_tables=True)
+        # overwrite the sidecar with tables for a different geometry
+        other = UHDClassifier(
+            tiny_digits.num_pixels, tiny_digits.num_classes,
+            UHDConfig(dim=128, backend="packed", binarize=True, seed=9),
+        ).fit(tiny_digits.train_images, tiny_digits.train_labels)
+        other_path = tmp_path / "other.npz"
+        save_model(other, other_path, include_tables=True)
+        import shutil
+
+        shutil.copy(table_sidecar_path(other_path), table_sidecar_path(path))
+        with pytest.raises(ModelFormatError, match="sidecar"):
+            load_model(path)
+
+    def test_include_tables_needs_exportable_encoder(self, tiny_digits, tmp_path):
+        model = self._fitted(tiny_digits, backend="reference")
+        with pytest.raises(ValueError, match="exportable"):
+            save_model(model, tmp_path / "ref.npz", include_tables=True)
+
+    def test_include_tables_needs_a_path(self, tiny_digits, tmp_path):
+        model = self._fitted(tiny_digits)
+        with open(tmp_path / "obj.npz", "wb") as handle:
+            with pytest.raises(ValueError, match="path"):
+                save_model(model, handle, include_tables=True)
+
+    def test_resave_without_tables_removes_stale_sidecar(
+        self, tiny_digits, tmp_path
+    ):
+        """A sidecar always describes the model it sits next to: saving
+        without include_tables must not leave the previous one behind."""
+        from repro.api import table_sidecar_path
+
+        model = self._fitted(tiny_digits)
+        path = tmp_path / "model.npz"
+        save_model(model, path, include_tables=True)
+        assert (tmp_path / "model.npz.tables").exists()
+        other = UHDClassifier(
+            tiny_digits.num_pixels, tiny_digits.num_classes,
+            UHDConfig(dim=128, backend="packed", binarize=True, seed=5),
+        ).fit(tiny_digits.train_images, tiny_digits.train_labels)
+        save_model(other, path)  # overwrite, no tables
+        assert not (tmp_path / "model.npz.tables").exists()
+        loaded = load_model(path)  # must not trip over a stale sidecar
+        np.testing.assert_array_equal(
+            loaded.predict(tiny_digits.test_images),
+            other.predict(tiny_digits.test_images),
+        )

@@ -41,6 +41,76 @@ class TestPartialFit:
             model.score(tiny_digits.test_images, tiny_digits.test_labels)
 
 
+class TestInputNormalization:
+    """partial_fit / predict / score share one accepted-shapes policy.
+
+    Regression: predict/score used to skip the single-image promotion
+    partial_fit performed, so a shape accepted at train time blew up (or
+    silently meant something else) at predict time.
+    """
+
+    def _fitted(self, tiny_digits, config=None):
+        model = StreamingUHD(784, 10, config or UHDConfig(dim=128))
+        model.partial_fit(tiny_digits.train_images[:40],
+                          tiny_digits.train_labels[:40])
+        return model
+
+    def test_flat_single_image_round_trips(self, tiny_digits):
+        model = self._fitted(tiny_digits)
+        flat = tiny_digits.test_images[0].reshape(-1)  # (784,)
+        batch_of_one = model.predict(tiny_digits.test_images[:1])
+        assert model.predict(flat).shape == (1,)
+        np.testing.assert_array_equal(model.predict(flat), batch_of_one)
+        assert model.score(flat, tiny_digits.test_labels[:1]) in (0.0, 1.0)
+
+    def test_square_single_image_round_trips(self, tiny_digits):
+        model = self._fitted(tiny_digits)
+        square = tiny_digits.test_images[0]  # (28, 28)
+        assert square.shape == (28, 28)
+        np.testing.assert_array_equal(
+            model.predict(square), model.predict(tiny_digits.test_images[:1])
+        )
+
+    def test_single_image_partial_fit_counts_one_sample(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        model.partial_fit(tiny_digits.train_images[0],  # (28, 28) image
+                          tiny_digits.train_labels[0])
+        assert model.samples_seen == 1
+        model.partial_fit(tiny_digits.train_images[1].reshape(-1),  # (784,)
+                          tiny_digits.train_labels[1])
+        assert model.samples_seen == 2
+
+    def test_fit_and_predict_agree_on_every_shape(self, tiny_digits):
+        """The same physical samples, three shapes, identical labels."""
+        model = self._fitted(tiny_digits)
+        imgs = tiny_digits.test_images[:4]  # (4, 28, 28)
+        want = model.predict(imgs)
+        np.testing.assert_array_equal(
+            model.predict(imgs.reshape(4, -1)), want
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([model.predict(img) for img in imgs]), want
+        )
+
+    def test_wrong_pixel_count_rejected_everywhere(self, tiny_digits):
+        model = self._fitted(tiny_digits)
+        bad = np.zeros((2, 9), dtype=np.uint8)
+        with pytest.raises(ValueError, match="pixels"):
+            model.partial_fit(bad, np.zeros(2, dtype=np.int64))
+        with pytest.raises(ValueError, match="pixels"):
+            model.predict(bad)
+        # a non-square 2-D array totalling num_pixels is a malformed
+        # batch, not one image
+        with pytest.raises(ValueError, match="pixels"):
+            model.predict(np.zeros((2, 392), dtype=np.uint8))
+
+    def test_label_count_mismatch_rejected(self, tiny_digits):
+        model = StreamingUHD(784, 10, UHDConfig(dim=128))
+        with pytest.raises(ValueError, match="label"):
+            model.partial_fit(tiny_digits.train_images[:3],
+                              tiny_digits.train_labels[:2])
+
+
 class TestPrequential:
     def test_accuracy_improves_along_stream(self, tiny_digits):
         model = StreamingUHD(784, 10, UHDConfig(dim=512))

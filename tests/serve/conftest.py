@@ -1,6 +1,16 @@
-"""Shared fixtures for the serving tests: one tiny trained model on disk."""
+"""Shared fixtures for the serving tests: one tiny trained model on disk.
+
+Setting ``REPRO_FORCE_SPAWN=1`` (the CI serve-smoke spawn leg) forces
+the ``spawn`` start method globally: ``multiprocessing``'s default
+context is switched, every ``start_method="auto"`` server resolves to
+spawn, and the :func:`start_method` parametrization drops fork — so the
+whole suite exercises the exact path macOS/Windows users get.
+"""
 
 from __future__ import annotations
+
+import multiprocessing
+import os
 
 import numpy as np
 import pytest
@@ -8,6 +18,45 @@ import pytest
 from repro.core.config import UHDConfig
 from repro.core.model import UHDClassifier
 from repro.datasets import synthetic_mnist
+
+FORCED_SPAWN = bool(os.environ.get("REPRO_FORCE_SPAWN"))
+
+if FORCED_SPAWN:
+    multiprocessing.set_start_method("spawn", force=True)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _forced_spawn_context():
+    """Route every UHDServer start method through spawn when forced."""
+    if not FORCED_SPAWN:
+        yield
+        return
+    from repro.serve import server as server_module
+
+    original = server_module._resolve_start_method
+    server_module._resolve_start_method = lambda method: "spawn"
+    yield
+    server_module._resolve_start_method = original
+
+
+def _start_methods() -> list[str]:
+    """The start methods this host offers, fork first (fast) when present."""
+    if FORCED_SPAWN:
+        return ["spawn"]
+    available = multiprocessing.get_all_start_methods()
+    return [m for m in ("fork", "spawn") if m in available]
+
+
+@pytest.fixture(params=_start_methods())
+def start_method(request) -> str:
+    """Parametrizes worker-pool tests over every available start method.
+
+    ``fork`` exercises copy-on-write table sharing; ``spawn`` exercises
+    the cold-child path (and, with a non-heap table store, the
+    attach-instead-of-rebuild warm start) — the macOS/Windows default
+    the serving layer must stay correct under.
+    """
+    return request.param
 
 
 @pytest.fixture(scope="session")

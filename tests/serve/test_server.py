@@ -98,9 +98,11 @@ class TestInProcessFallback:
 
 class TestWorkerPool:
     def test_bit_exact_with_direct_predict(
-        self, model_path, serve_data, direct_labels
+        self, model_path, serve_data, direct_labels, start_method
     ):
-        config = ServeConfig(workers=2, max_batch=16, max_wait_ms=1.0)
+        config = ServeConfig(
+            workers=2, max_batch=16, max_wait_ms=1.0, start_method=start_method
+        )
         with UHDServer(model_path, config) as server:
             got = server.predict(serve_data.test_images, timeout=30.0)
             stats = server.stats()
@@ -190,6 +192,88 @@ class TestWorkerPool:
         assert completed + failed == len(handles)
 
 
+class TestTableStoreServing:
+    """The shared gather-table arena: workers attach, never rebuild.
+
+    ``worker_table_builds`` comes from the build-counter hook on
+    ``PackedLevelEncoder`` reported through the ready handshake: 0 means
+    the worker served its readiness probe (and therefore all traffic)
+    on *attached* tables.
+    """
+
+    @pytest.mark.parametrize("table_store", ["mmap", "shm"])
+    def test_spawn_workers_attach_published_tables(
+        self, model_path, serve_data, direct_labels, table_store
+    ):
+        """The headline property: under spawn, tables are built exactly
+        once (by the front-end) and every worker attaches zero-copy."""
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn not available")  # pragma: no cover
+        config = ServeConfig(
+            workers=2, max_batch=16, start_method="spawn",
+            table_store=table_store,
+        )
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images, timeout=60.0)
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        assert stats.worker_table_builds == (0, 0)
+
+    def test_fork_workers_inherit_without_building(
+        self, model_path, serve_data, direct_labels
+    ):
+        import multiprocessing
+        import os
+
+        if os.environ.get("REPRO_FORCE_SPAWN") or (
+            "fork" not in multiprocessing.get_all_start_methods()
+        ):
+            pytest.skip("fork not available")  # pragma: no cover
+        config = ServeConfig(workers=2, max_batch=16, start_method="fork")
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images, timeout=60.0)
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        # copy-on-write adoption: zero builds inside the workers
+        assert stats.worker_table_builds == (0, 0)
+
+    def test_spawn_heap_store_falls_back_to_building(
+        self, model_path, serve_data, direct_labels
+    ):
+        """A heap handle cannot cross a spawn boundary: the worker builds
+        its own table (the pre-store behavior) and still serves
+        bit-exactly — slower, never wrong."""
+        import multiprocessing
+
+        if "spawn" not in multiprocessing.get_all_start_methods():
+            pytest.skip("spawn not available")  # pragma: no cover
+        config = ServeConfig(
+            workers=1, max_batch=16, start_method="spawn", table_store="heap"
+        )
+        with UHDServer(model_path, config) as server:
+            got = server.predict(serve_data.test_images, timeout=60.0)
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        assert stats.worker_table_builds == (1,)
+
+    def test_store_released_on_close(self, model_path, serve_data):
+        import os
+
+        config = ServeConfig(workers=1, max_batch=16, table_store="mmap")
+        server = UHDServer(model_path, config).start()
+        store = server._table_store
+        handle = server._table_handle
+        assert handle is not None and os.path.exists(handle.ref)
+        assert any(
+            name == "mmap" for name, _, _ in encoder_cache().stats().published
+        )
+        server.close()
+        assert not os.path.exists(handle.ref)  # table file cleaned up
+        assert server._table_store is None and store._paths == []
+
+
 class TestEncoderCache:
     def test_same_key_shares_one_encoder(self, served_model, serve_data):
         cache = encoder_cache()
@@ -236,6 +320,87 @@ class TestEncoderCache:
         finally:
             first.close()
             second.close()
+
+
+class TestCacheIntrospection:
+    """EncoderCache.stats()/clear(): observability and handle release."""
+
+    def _fresh_cache(self, served_model, serve_data):
+        from repro.serve import EncoderCache
+
+        cache = EncoderCache()
+        cache.warm(serve_data.num_pixels, served_model.config)
+        return cache
+
+    def test_stats_reports_entries_and_table_bytes(
+        self, served_model, serve_data
+    ):
+        cache = self._fresh_cache(served_model, serve_data)
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.table_bytes > 0  # warmed: tables are materialized
+        assert stats.published == ()
+
+    def test_publish_appears_in_stats_and_clear_releases(
+        self, served_model, serve_data
+    ):
+        import os
+
+        from repro.fastpath.tablestore import MmapStore, attach_handle
+
+        cache = self._fresh_cache(served_model, serve_data)
+        store = MmapStore()
+        handle = cache.publish(serve_data.num_pixels, served_model.config, store)
+        assert handle is not None and os.path.exists(handle.ref)
+        stats = cache.stats()
+        assert len(stats.published) == 1
+        name, kind, nbytes = stats.published[0]
+        assert name == "mmap" and kind == "pair" and nbytes > 0
+        cache.clear()
+        empty = cache.stats()
+        assert empty.entries == 0 and empty.published == ()
+        # clear() released the publication: the handle no longer resolves
+        assert attach_handle(handle) is None
+        store.close()
+
+    def test_republish_same_store_reuses_handle(self, served_model, serve_data):
+        from repro.fastpath.tablestore import HeapStore
+
+        cache = self._fresh_cache(served_model, serve_data)
+        store = HeapStore()
+        first = cache.publish(serve_data.num_pixels, served_model.config, store)
+        second = cache.publish(serve_data.num_pixels, served_model.config, store)
+        assert first is second  # deterministic tables: one publication
+        cache.release_store(store)
+        assert cache.stats().published == ()
+
+    def test_publish_without_exportable_tables_returns_none(self, serve_data):
+        from repro.core.config import UHDConfig
+        from repro.fastpath.tablestore import HeapStore
+        from repro.serve import EncoderCache
+
+        cache = EncoderCache()
+        config = UHDConfig(dim=128, backend="reference")
+        cache.get(serve_data.num_pixels, config)
+        store = HeapStore()
+        assert cache.publish(serve_data.num_pixels, config, store) is None
+        store.close()
+
+    def test_adopt_seeds_cache_with_a_warm_encoder(
+        self, model_path, serve_data
+    ):
+        """A model arriving with warm tables (sidecar attach, in-process
+        training) becomes the cache entry instead of being discarded."""
+        from repro.core.model import UHDClassifier
+        from repro.serve import EncoderCache
+
+        loaded = UHDClassifier.load(model_path)
+        loaded.encoder.export_tables()  # warm it (builds the table)
+        warm_encoder = loaded.encoder
+        cache = EncoderCache()
+        cache.adopt(loaded)
+        assert loaded.encoder is warm_encoder  # kept, not replaced
+        assert cache.get(serve_data.num_pixels, loaded.config) is warm_encoder
 
 
 class TestReadinessProbe:

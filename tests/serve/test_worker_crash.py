@@ -17,9 +17,15 @@ from repro.serve import ServeConfig, ServeError, UHDServer, WorkerCrashError
 
 class TestCrashRecovery:
     def test_crash_mid_batch_restarts_and_retries(
-        self, model_path, serve_data, direct_labels
+        self, model_path, serve_data, direct_labels, start_method
     ):
-        config = ServeConfig(workers=1, max_batch=16, restart_limit=2)
+        config = ServeConfig(
+            workers=1, max_batch=16, restart_limit=2,
+            start_method=start_method,
+            # a non-heap store keeps respawn warm-starts O(1) under spawn
+            # too; under fork it matches the copy-on-write behavior
+            table_store="shm",
+        )
         with UHDServer(model_path, config) as server:
             server._crash_next = 1
             got = server.predict(serve_data.test_images[:10], timeout=60.0)
@@ -28,6 +34,8 @@ class TestCrashRecovery:
         assert np.array_equal(got, direct_labels[:10])
         # ...because the worker was respawned and the batch re-dispatched
         assert stats.restarts == 1
+        # both generations (bootstrap and respawn) attached, never rebuilt
+        assert stats.worker_table_builds == (0,)
 
     def test_two_crashes_within_budget_still_answer(
         self, model_path, serve_data, direct_labels
