@@ -20,6 +20,21 @@ rebuilding them (``table_store="heap"``), plus the per-worker table
 bytes a rebuild duplicates; the attach-vs-rebuild ratio is what the
 shared gather-table arena buys on spawn platforms.
 
+Two request-path rows measure the transport/scheduler layers:
+
+* ``serve_http`` — the same request stream POSTed over the stdlib
+  threaded HTTP transport (keep-alive connections, several client
+  threads so handler threads feed the scheduler concurrently), against
+  the in-process ``serve_batched`` number: the recorded
+  ``overhead_vs_inproc`` is what the socket + JSON codec cost end to
+  end.
+* ``serve_priority_mixed`` — an ``interactive`` lane (1 ms window,
+  weight 4) probed with single-image requests while a ``bulk`` lane
+  (50 ms window) is kept saturated by a background flood; the recorded
+  interactive p50/p95 must stay bounded by the *interactive* lane's
+  window (plus one in-flight batch), not the bulk lane's — the
+  scheduler's anti-starvation contract, asserted before writing.
+
 Labels are checked bit-exact against ``UHDClassifier.predict`` before
 anything is timed.  Results merge into ``BENCH_throughput.json``
 alongside the encode/predict rows ``run_bench.py`` records — the two
@@ -48,7 +63,7 @@ from repro.core.config import UHDConfig
 from repro.core.model import UHDClassifier
 from repro.datasets import synthetic_mnist
 from repro.eval.throughput import write_bench_json
-from repro.serve import ServeConfig, UHDServer
+from repro.serve import HttpTransport, LaneConfig, ServeConfig, UHDServer
 
 
 def _train_model(path: str, dim: int, backend: str, seed: int) -> UHDClassifier:
@@ -134,6 +149,164 @@ def _time_warmstart(
         server.close(drain_timeout=0.0)
     table_bytes = encoder_cache().stats().table_bytes
     return float(np.median(times)), builds, table_bytes
+
+
+def _http_scenario(
+    model_path: str,
+    config: ServeConfig,
+    queries: list[np.ndarray],
+    expected: list[np.ndarray],
+    repeats: int,
+    client_threads: int = 8,
+) -> tuple[float, float]:
+    """(median wall seconds per round over HTTP, mean batch size).
+
+    Each client thread holds one keep-alive connection and posts its
+    share of the stream serially — concurrent handler threads then feed
+    the scheduler together, which is the deployment shape.  Labels are
+    verified bit-exact before timing.
+    """
+    import http.client
+    import json
+    import threading
+
+    with UHDServer(model_path, config) as server:
+        with HttpTransport(server) as transport:
+            host, port = "127.0.0.1", transport.port
+
+            def post_range(indices: list[int], answers: dict) -> None:
+                conn = http.client.HTTPConnection(host, port, timeout=60.0)
+                try:
+                    for index in indices:
+                        body = json.dumps(
+                            {"images": queries[index].tolist()}
+                        ).encode("utf-8")
+                        conn.request(
+                            "POST", "/predict", body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        reply = json.loads(conn.getresponse().read())
+                        answers[index] = np.asarray(reply["labels"])
+                finally:
+                    conn.close()
+
+            def one_round() -> dict:
+                answers: dict[int, np.ndarray] = {}
+                threads = [
+                    threading.Thread(
+                        target=post_range,
+                        args=(list(range(t, len(queries), client_threads)),
+                              answers),
+                    )
+                    for t in range(client_threads)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                return answers
+
+            answers = one_round()  # warm + verify
+            for index, want in enumerate(expected):
+                if not np.array_equal(answers[index], want):
+                    raise AssertionError(
+                        "HTTP-served labels are not bit-exact with "
+                        "UHDClassifier.predict"
+                    )
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                one_round()
+                times.append(time.perf_counter() - start)
+            stats = server.stats()
+    return float(np.median(times)), stats.mean_batch_size
+
+
+def _priority_mixed_scenario(
+    model_path: str,
+    workers: int,
+    num_pixels: int,
+    backend: str,
+    seed: int,
+    interactive_requests: int = 40,
+) -> dict:
+    """Interactive latency percentiles under a saturated bulk lane.
+
+    A flood thread keeps several bulk requests outstanding at all times
+    (the queue is never empty), while the main thread trickles
+    single-image interactive requests and measures each submit→result
+    round trip.  The scheduler's urgency rule must keep interactive p50
+    bounded by the interactive window plus one in-flight bulk batch —
+    nowhere near the bulk lane's window.
+    """
+    import threading
+    from collections import deque
+
+    interactive = LaneConfig(
+        "interactive", max_batch=16, max_wait_ms=1.0, weight=4.0
+    )
+    bulk = LaneConfig("bulk", max_batch=64, max_wait_ms=50.0, weight=1.0)
+    config = ServeConfig(
+        workers=workers, lanes=(interactive, bulk), backend=backend
+    )
+    rng = np.random.default_rng(seed)
+    bulk_images = rng.integers(0, 256, size=(64, num_pixels), dtype=np.uint8)
+    single = rng.integers(
+        0, 256, size=(interactive_requests, 1, num_pixels), dtype=np.uint8
+    )
+    stop = threading.Event()
+    bulk_done = [0]
+
+    with UHDServer(model_path, config) as server:
+        def flood() -> None:
+            pending: deque = deque()
+            while not stop.is_set():
+                while len(pending) < 6:
+                    pending.append(server.submit(bulk_images, lane="bulk"))
+                pending.popleft().result(timeout=60.0)
+                bulk_done[0] += bulk_images.shape[0]
+            while pending:
+                pending.popleft().result(timeout=60.0)
+                bulk_done[0] += bulk_images.shape[0]
+
+        flood_start = time.perf_counter()
+        flooder = threading.Thread(target=flood, daemon=True)
+        flooder.start()
+        time.sleep(0.2)  # let the bulk backlog build
+        latencies = []
+        for query in single:
+            t0 = time.perf_counter()
+            server.submit(query, lane="interactive").result(timeout=60.0)
+            latencies.append(time.perf_counter() - t0)
+            time.sleep(0.002)  # interactive traffic trickles, not floods
+        stop.set()
+        flooder.join(timeout=60.0)
+        elapsed = time.perf_counter() - flood_start
+
+    p50_ms = float(np.percentile(latencies, 50)) * 1e3
+    p95_ms = float(np.percentile(latencies, 95)) * 1e3
+    if p50_ms >= bulk.max_wait_ms:
+        raise AssertionError(
+            f"interactive p50 {p50_ms:.1f} ms is not bounded by its own "
+            f"lane: it exceeds even the bulk window ({bulk.max_wait_ms} ms) "
+            "- the anti-starvation contract is broken"
+        )
+    return {
+        "name": "serve_priority_mixed",
+        "median_s": p50_ms / 1e3,
+        "ops_per_s": 1e3 / p50_ms,
+        "speedup_vs_reference": None,
+        "speedup_vs_packed": None,
+        "workers": workers,
+        "interactive_p50_ms": p50_ms,
+        "interactive_p95_ms": p95_ms,
+        "interactive_requests": interactive_requests,
+        "interactive_max_wait_ms": interactive.max_wait_ms,
+        "interactive_weight": interactive.weight,
+        "bulk_max_wait_ms": bulk.max_wait_ms,
+        "bulk_images_per_s": bulk_done[0] / elapsed if elapsed > 0 else 0.0,
+        "p50_bounded_by_own_lane": True,  # asserted above
+    }
 
 
 def _warmstart_rows(
@@ -273,6 +446,13 @@ def main(argv: list[str] | None = None) -> int:
         batched_s, batched_mean = _serve_scenario(
             model_path, batched, queries, expected, args.repeats
         )
+        http_s, http_mean = _http_scenario(
+            model_path, batched, queries, expected, args.repeats
+        )
+        priority_row = _priority_mixed_scenario(
+            model_path, max(1, args.workers), model.num_pixels,
+            args.backend, args.seed,
+        )
         warmstart_rows = _warmstart_rows(
             model_path, model.num_pixels, max(1, args.workers),
             max(2, args.repeats // 2),
@@ -309,10 +489,35 @@ def main(argv: list[str] | None = None) -> int:
             "mean_batch_size": batched_mean,
             "speedup_vs_unbatched": unbatched_s / batched_s,
         },
+        {
+            "name": "serve_http",
+            "median_s": http_s,
+            "ops_per_s": images / http_s,
+            "speedup_vs_reference": None,
+            "speedup_vs_packed": None,
+            "requests": args.requests,
+            "images_per_request": args.request_batch,
+            "ms_per_request_amortized": http_s / args.requests * 1e3,
+            "mean_batch_size": http_mean,
+            # > 1.0: what the loopback socket + JSON codec cost per round
+            # relative to in-process submit on the identical stream
+            "overhead_vs_inproc": http_s / batched_s,
+        },
     ]
+    rows.append(priority_row)
     rows.extend(warmstart_rows)
     print("serving throughput (median round over repeats, bit-exact verified):")
     for row in rows:
+        if row["name"] == "serve_priority_mixed":
+            print(
+                f"  {row['name']:<22} interactive p50 "
+                f"{row['interactive_p50_ms']:6.2f} ms  p95 "
+                f"{row['interactive_p95_ms']:6.2f} ms  (own window "
+                f"{row['interactive_max_wait_ms']:g} ms, bulk window "
+                f"{row['bulk_max_wait_ms']:g} ms)  bulk "
+                f"{row['bulk_images_per_s']:.0f} images/s"
+            )
+            continue
         if row["name"].startswith("worker_warmstart"):
             extra = ""
             if "speedup_attach_vs_rebuild" in row:
@@ -329,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         extra = ""
         if "speedup_vs_unbatched" in row:
             extra = f"  ({row['speedup_vs_unbatched']:.1f}x vs unbatched)"
+        if "overhead_vs_inproc" in row:
+            extra = f"  ({row['overhead_vs_inproc']:.2f}x vs inproc submit)"
         print(
             f"  {row['name']:<18} {row['median_s'] * 1e3:8.3f} ms/round "
             f"{row['ops_per_s']:10.0f} images/s  "

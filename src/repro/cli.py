@@ -14,6 +14,9 @@ Usage::
     repro-uhd serve-check --model model.npz --batch 64
     repro-uhd serve --model model.npz --workers 2 --rounds 3 --batch 16
     repro-uhd serve --model model.npz --workers 2 --start-method spawn --table-store shm
+    repro-uhd serve --model model.npz --http-port 8080 --serve-forever
+    repro-uhd serve --model model.npz --http-port 0 \
+        --lane interactive:16:1:4 --lane bulk:64:50 --deadline-ms 5000
 
 Accuracy experiments honour ``REPRO_FULL=1`` for paper-leaning workload
 sizes; ``--backend`` accepts any backend registered with
@@ -24,13 +27,23 @@ serving-readiness probe — it loads a warm model (no retraining) and
 reports prediction latency; ``serve`` stands up the
 :mod:`repro.serve` worker pool (each worker runs the serve-check probe
 before accepting traffic), answers ``--rounds`` predict round-trips
-bit-exactly, prints batching stats, and shuts down cleanly.
+bit-exactly, prints batching stats, and shuts down cleanly —
+SIGTERM/SIGINT drain in-flight lanes (``--drain-timeout-s``) before the
+workers exit.  ``--http-port`` puts the stdlib threaded HTTP transport
+in front (``/predict``, ``/healthz``, ``/stats``): the round-trips then
+go over real HTTP (still verified bit-exact), and ``--serve-forever``
+keeps serving until a signal arrives.  ``--lane NAME[:MAX_BATCH[
+:MAX_WAIT_MS[:WEIGHT]]]`` (repeatable) declares priority lanes; the
+first is the default lane the round-trips use.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 import time
 
 from .api import list_backends
@@ -248,89 +261,266 @@ def _cmd_serve_check(args: argparse.Namespace) -> str:
     )
 
 
+def _parse_lane(spec: str):
+    """``NAME[:MAX_BATCH[:MAX_WAIT_MS[:WEIGHT]]]`` -> LaneConfig.
+
+    Empty fields inherit the server-wide knob: ``bulk::50`` is a lane
+    named bulk with the global max_batch and a 50 ms window.
+    """
+    from .serve import LaneConfig
+
+    fields = spec.split(":")
+    if len(fields) > 4:
+        raise argparse.ArgumentTypeError(
+            f"lane spec {spec!r} has too many fields; expected "
+            "NAME[:MAX_BATCH[:MAX_WAIT_MS[:WEIGHT]]]"
+        )
+
+    def _field(index: int, cast):
+        if len(fields) <= index or fields[index] == "":
+            return None
+        try:
+            return cast(fields[index])
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"lane spec {spec!r}: field {index} ({fields[index]!r}) "
+                f"is not a valid {cast.__name__}"
+            ) from None
+
+    weight = _field(3, float)
+    try:
+        return LaneConfig(
+            name=fields[0],
+            max_batch=_field(1, int),
+            max_wait_ms=_field(2, float),
+            weight=1.0 if weight is None else weight,
+        )
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"lane spec {spec!r}: {exc}") from None
+
+
+@contextlib.contextmanager
+def _graceful_shutdown():
+    """Install SIGTERM/SIGINT handlers that request a drain, not a kill.
+
+    Yields a ``threading.Event`` set when either signal arrives; the
+    caller's ``with UHDServer(...)`` block then exits normally and
+    ``close()`` drains in-flight lanes (``ServeConfig.drain_timeout_s``)
+    before stopping the workers — instead of the default SIGTERM action
+    killing the pool with queued requests.  Handlers are restored on
+    exit; outside the main thread (where signals cannot be installed)
+    the event is yielded unarmed.
+    """
+    stop = threading.Event()
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via CI/tests
+        stop.set()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except ValueError:  # not the main thread
+            pass
+    try:
+        yield stop
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _http_round_trips(
+    transport, queries, lane: str | None, deadline_ms: float | None
+):
+    """POST each query batch to /predict over real HTTP; returns answers."""
+    import json
+    import urllib.request
+
+    import numpy as np
+
+    answers = []
+    for batch in queries:
+        payload: dict = {"images": batch.tolist()}
+        if lane is not None:
+            payload["lane"] = lane
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        request = urllib.request.Request(
+            transport.address + "/predict",
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            answers.append(np.asarray(json.load(response)["labels"]))
+    return answers
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     """Start a serving pool, answer predict round-trips, shut down cleanly.
 
     With ``--verify`` (default) every served label array is compared
     bit-for-bit against ``UHDClassifier.predict`` on a directly loaded
-    copy of the model — the serving layer's core contract.
+    copy of the model — the serving layer's core contract, over both the
+    in-process and the HTTP transport.  SIGTERM/SIGINT drain in-flight
+    lanes before the workers exit.
     """
+    import json
+    import urllib.request
+
     import numpy as np
 
-    from .serve import ServeConfig, UHDServer
+    from .serve import HttpTransport, ServeConfig, UHDServer
 
+    if args.serve_forever and args.http_port is None:
+        # fail fast: a supervisor that believes it started a daemon must
+        # not get a self-test run that exits after --rounds
+        raise SystemExit(
+            "repro-uhd serve: --serve-forever requires --http-port "
+            "(there is no transport to keep serving without one)"
+        )
     config = ServeConfig(
         workers=args.workers,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        lanes=tuple(args.lane or ()),
         backend=args.backend,
         start_method=args.start_method,
         table_store=args.table_store,
+        drain_timeout_s=args.drain_timeout_s,
     )
     rng = np.random.default_rng(args.seed)
     lines: list[str] = []
     start = time.perf_counter()
-    with UHDServer(args.model, config) as server:
-        startup_s = time.perf_counter() - start
-        stats = server.stats()
-        mode = "in-process fallback" if config.workers == 0 else (
-            f"{config.workers} worker process(es)"
-        )
-        lines.append(
-            f"serve: {args.model} up in {startup_s:.2f}s ({mode}, "
-            f"max_batch={config.max_batch}, "
-            f"max_wait={config.max_wait_ms:g}ms)"
-        )
-        builds = stats.worker_table_builds
-        for slot, probe_ms in enumerate(stats.worker_probe_ms):
-            warm = ""
-            if slot < len(builds):
-                warm = (
-                    ", tables attached (0 builds)" if builds[slot] == 0
-                    else f", tables built ({builds[slot]})"
-                )
-            lines.append(
-                f"  worker {slot}: ready, serve-check probe median "
-                f"{probe_ms:.3f} ms{warm}"
+    with _graceful_shutdown() as stop:
+        with UHDServer(args.model, config) as server:
+            startup_s = time.perf_counter() - start
+            stats = server.stats()
+            mode = "in-process fallback" if config.workers == 0 else (
+                f"{config.workers} worker process(es)"
             )
-        queries = rng.integers(
-            0, 256,
-            size=(args.rounds, args.batch, server.num_pixels),
-            dtype=np.uint8,
-        )
-        t0 = time.perf_counter()
-        handles = [server.submit(batch) for batch in queries]
-        answers = [handle.result(timeout=60.0) for handle in handles]
-        elapsed = time.perf_counter() - t0
-        total = args.rounds * args.batch
-        lines.append(
-            f"  served {args.rounds} request(s) x {args.batch} image(s) in "
-            f"{elapsed * 1e3:.2f} ms ({total / elapsed:.0f} images/s)"
-        )
-        if args.verify:
-            from .api import load_model
-
-            # load_model, not UHDClassifier.load: the server fronts any
-            # persisted image model (StreamingUHD included), and the
-            # backend= re-home is the same path the workers took
-            direct = load_model(args.model, backend=args.backend)
-            for batch, answer in zip(queries, answers):
-                if not np.array_equal(direct.predict(batch), answer):
-                    raise AssertionError(
-                        "served labels differ from UHDClassifier.predict"
+            lane_names = ", ".join(lane.name for lane in server.lanes)
+            lines.append(
+                f"serve: {args.model} up in {startup_s:.2f}s ({mode}, "
+                f"max_batch={config.max_batch}, "
+                f"max_wait={config.max_wait_ms:g}ms, lanes: {lane_names})"
+            )
+            builds = stats.worker_table_builds
+            for slot, probe_ms in enumerate(stats.worker_probe_ms):
+                warm = ""
+                if slot < len(builds):
+                    warm = (
+                        ", tables attached (0 builds)" if builds[slot] == 0
+                        else f", tables built ({builds[slot]})"
                     )
+                lines.append(
+                    f"  worker {slot}: ready, serve-check probe median "
+                    f"{probe_ms:.3f} ms{warm}"
+                )
+            transport = None
+            if args.http_port is not None:
+                transport = HttpTransport(
+                    server, host=args.http_host, port=args.http_port
+                ).start()
+                lines.append(
+                    f"  http: listening on {transport.address} "
+                    "(POST /predict, GET /healthz, GET /stats)"
+                )
+            try:
+                if transport is not None and args.serve_forever:
+                    # daemon mode: print what we have, then block until a
+                    # signal asks for the drain-and-exit path
+                    print("\n".join(lines), flush=True)
+                    lines = []
+                    stop.wait()
+                    lines.append("  signal received: draining lanes")
+                else:
+                    lines.extend(
+                        _serve_round_trips(args, server, transport, rng, stop)
+                    )
+                if transport is not None:
+                    health = json.load(
+                        urllib.request.urlopen(
+                            transport.address + "/healthz", timeout=10.0
+                        )
+                    )
+                    http_stats = json.load(
+                        urllib.request.urlopen(
+                            transport.address + "/stats", timeout=10.0
+                        )
+                    )
+                    lane_report = ", ".join(
+                        f"{lane['name']}: served {lane['served_rows']} "
+                        f"row(s), expired {lane['expired']}"
+                        for lane in http_stats["lanes"]
+                    )
+                    lines.append(
+                        f"  healthz: {health['status']} "
+                        f"({health['workers_live']}/{health['workers']} "
+                        "workers live)"
+                    )
+                    lines.append(f"  stats: {lane_report}")
+            finally:
+                if transport is not None:
+                    transport.close()
+            final = server.stats()
             lines.append(
-                f"  verify OK: all {total} labels bit-exact with "
-                "UHDClassifier.predict"
+                f"  batching: {final.batches} batch(es) for {final.requests} "
+                f"request(s), mean batch {final.mean_batch_size:.1f}, "
+                f"max {final.max_batch_seen}"
             )
-        final = server.stats()
-        lines.append(
-            f"  batching: {final.batches} batch(es) for {final.requests} "
-            f"request(s), mean batch {final.mean_batch_size:.1f}, "
-            f"max {final.max_batch_seen}"
-        )
     lines.append("  shutdown clean")
     return "\n".join(lines)
+
+
+def _serve_round_trips(args, server, transport, rng, stop) -> list[str]:
+    """The self-test rounds: submit, time, verify bit-exactness."""
+    import numpy as np
+
+    lines: list[str] = []
+    queries = rng.integers(
+        0, 256,
+        size=(args.rounds, args.batch, server.num_pixels),
+        dtype=np.uint8,
+    )
+    t0 = time.perf_counter()
+    if transport is not None:
+        # over real HTTP: loopback socket, handler threads, JSON codec
+        answers = _http_round_trips(
+            transport, queries, lane=None, deadline_ms=args.deadline_ms
+        )
+        via = " via HTTP"
+    else:
+        handles = [
+            server.submit(batch, deadline_ms=args.deadline_ms)
+            for batch in queries
+            if not stop.is_set()  # a signal stops new submissions
+        ]
+        answers = [handle.result(timeout=60.0) for handle in handles]
+        via = ""
+    elapsed = time.perf_counter() - t0
+    total = len(answers) * args.batch
+    lines.append(
+        f"  served {len(answers)} request(s) x {args.batch} image(s) in "
+        f"{elapsed * 1e3:.2f} ms ({total / max(elapsed, 1e-9):.0f} "
+        f"images/s){via}"
+    )
+    if args.verify:
+        from .api import load_model
+
+        # load_model, not UHDClassifier.load: the server fronts any
+        # persisted image model (StreamingUHD included), and the
+        # backend= re-home is the same path the workers took
+        direct = load_model(args.model, backend=args.backend)
+        for batch, answer in zip(queries, answers):
+            if not np.array_equal(direct.predict(batch), answer):
+                raise AssertionError(
+                    "served labels differ from UHDClassifier.predict"
+                )
+        lines.append(
+            f"  verify OK: all {total} labels bit-exact with "
+            "UHDClassifier.predict"
+        )
+    return lines
 
 
 def _model_io_args(parser: argparse.ArgumentParser, needs_model: bool) -> None:
@@ -401,6 +591,38 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         "(versioned table file, np.memmap attach) or shm "
         "(multiprocessing.shared_memory) — mmap/shm make spawn workers "
         "warm-start without rebuilding tables",
+    )
+    parser.add_argument(
+        "--lane", action="append", type=_parse_lane, metavar="SPEC",
+        help="declare a priority lane: NAME[:MAX_BATCH[:MAX_WAIT_MS[:WEIGHT]]]"
+        " (repeatable; empty fields inherit --max-batch/--max-wait-ms; the"
+        " first lane is the default one round-trips use)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request queueing deadline for the self-test round-trips; "
+        "requests still queued when it passes fail loudly instead of "
+        "being served late",
+    )
+    parser.add_argument(
+        "--drain-timeout-s", type=float, default=10.0,
+        help="how long shutdown (close / SIGTERM / SIGINT) waits for "
+        "in-flight lanes to drain before failing the stragglers",
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="put the stdlib threaded HTTP transport in front (POST "
+        "/predict, GET /healthz, GET /stats); 0 binds an ephemeral port; "
+        "the self-test round-trips then go over real HTTP",
+    )
+    parser.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="interface the HTTP transport binds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-forever", action="store_true",
+        help="with --http-port: skip the self-test rounds and serve until "
+        "SIGTERM/SIGINT, then drain and exit",
     )
     parser.add_argument(
         "--rounds", type=int, default=3,

@@ -8,41 +8,54 @@ re-fitting), proves readiness with the ``serve-check`` probe, and can be
 killed and respawned at any time without losing anything but the batch
 it was holding — which the front-end re-queues.
 
-The pieces (see ``docs/serving.md`` for the operator guide and
-``docs/ARCHITECTURE.md`` for where this sits in the system):
+The request path is three explicit layers (see ``docs/serving.md`` for
+the operator guide and ``docs/ARCHITECTURE.md`` for the full picture):
 
-* :class:`UHDServer` — the front-end: owns one warm encoder per
-  ``(pixels, config)`` key, micro-batches requests, fans batches out to
-  the worker pool, restarts crashed workers.  ``ServeConfig(workers=0)``
-  is the synchronous in-process fallback for 1-core hosts.
-* :class:`ServeConfig` / :class:`ServerStats` /
-  :class:`PredictionHandle` — configuration, observability, and the
-  async result handle.
-* :class:`MicroBatcher` — the bounded coalescing queue (reusable on its
-  own).
-* :class:`EncoderCache` / :func:`encoder_cache` — process-wide shared
-  warm encoders, plus the publish step that exports warm gather tables
-  into a :mod:`repro.fastpath.tablestore` store so workers *attach*
-  instead of rebuild (``ServeConfig(table_store="mmap"/"shm")`` makes
-  that work under ``spawn`` too, not just fork copy-on-write).
-* :func:`readiness_probe` — the shared serve-check implementation.
+* **Transport** (:mod:`repro.serve.transport`) — how requests arrive:
+  :class:`InProcessTransport` (plain Python calls) or
+  :class:`HttpTransport` (stdlib-only threaded HTTP: ``POST /predict``,
+  ``GET /healthz`` backed by the readiness probe, ``GET /stats``).
+* **Scheduler** (:mod:`repro.serve.scheduler`) — queueing/coalescing
+  policy: named priority lanes (:class:`LaneConfig`) with per-lane
+  ``max_batch``/``max_wait_ms``, weighted anti-starvation draining, and
+  per-request deadlines that fail expired requests loudly
+  (:class:`DeadlineExpiredError`).  :class:`MicroBatcher` remains as a
+  single-lane compatibility shim.
+* **Workers** (:class:`UHDServer` + :mod:`repro.serve.worker`) — the
+  front-end owns one warm encoder per ``(pixels, config)`` key
+  (:class:`EncoderCache`), publishes gather tables through
+  :mod:`repro.fastpath.tablestore` so workers attach instead of
+  rebuild, fans batches out to the pool, and restarts crashed workers.
+  ``ServeConfig(workers=0)`` is the synchronous in-process fallback.
 
 Quickstart::
 
-    from repro.serve import ServeConfig, UHDServer
+    from repro.serve import HttpTransport, LaneConfig, ServeConfig, UHDServer
 
-    with UHDServer("mnist-2048.npz", ServeConfig(workers=2)) as server:
-        labels = server.predict(images)   # bit-exact with UHDClassifier.predict
+    config = ServeConfig(
+        workers=2,
+        lanes=(LaneConfig("interactive", max_batch=16, max_wait_ms=1, weight=4),
+               LaneConfig("bulk", max_wait_ms=50)),
+    )
+    with UHDServer("mnist-2048.npz", config) as server:
+        labels = server.predict(images, lane="interactive")
+        with HttpTransport(server, port=8080) as http:
+            print("listening on", http.address)  # POST /predict, /healthz, /stats
+            ...
 
-Everything is bit-exact with calling the model directly: the server
-splits, coalesces and routes, but never transforms data.
+Everything is bit-exact with calling the model directly — over every
+transport, on every lane: the serving layer splits, coalesces and
+routes, but never transforms data.
 """
 
 from .batcher import MicroBatcher
 from .cache import CacheStats, EncoderCache, encoder_cache
 from .probe import ProbeResult, readiness_probe
+from .scheduler import LaneConfig, LaneStats, ScheduledBatch, Scheduler
 from .server import UHDServer
+from .transport import HttpTransport, InProcessTransport, Transport
 from .types import (
+    DeadlineExpiredError,
     PredictionHandle,
     ServeConfig,
     ServeError,
@@ -52,13 +65,21 @@ from .types import (
 
 __all__ = [
     "CacheStats",
+    "DeadlineExpiredError",
     "EncoderCache",
+    "HttpTransport",
+    "InProcessTransport",
+    "LaneConfig",
+    "LaneStats",
     "MicroBatcher",
     "PredictionHandle",
     "ProbeResult",
+    "ScheduledBatch",
+    "Scheduler",
     "ServeConfig",
     "ServeError",
     "ServerStats",
+    "Transport",
     "UHDServer",
     "WorkerCrashError",
     "encoder_cache",

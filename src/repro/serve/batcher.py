@@ -1,45 +1,36 @@
-"""Bounded micro-batching queue: coalesce small requests into packed-friendly batches.
+"""Bounded micro-batching queue — now a single-lane scheduler shim.
 
-The packed kernels amortize their fixed costs (LUT gather setup, IPC
-round-trip, popcount dispatch) over the batch axis, so a server that
-forwards each 1-image request alone leaves most of the fast path's
-throughput on the table.  :class:`MicroBatcher` is the piece that fixes
-that: producers :meth:`put` items carrying a row count, and a single
-dispatcher thread pulls *batches* — groups of consecutive items whose
-row total fits ``max_batch``, flushed early once ``max_wait_s`` has
-elapsed since the batch's first item arrived.
-
-Semantics (all covered by ``tests/serve/test_batcher.py``):
+:class:`MicroBatcher` was the serving layer's original coalescing queue;
+its policy has been extracted into the lane-aware
+:class:`~repro.serve.scheduler.Scheduler`, and this class remains as a
+thin compatibility shim: one default lane, no deadlines, the exact
+pre-scheduler API and semantics (all still covered by
+``tests/serve/test_batcher.py`` running unchanged against the shim):
 
 * **FIFO, never reordered, never split.**  Items leave in arrival order;
   an item whose rows would overflow the current batch stays queued for
   the next one (callers split oversized requests *before* the batcher —
   see ``UHDServer.submit``).
 * **Empty flush.**  ``next_batch`` returns ``[]`` when its poll window
-  expires with nothing queued — the dispatcher's idle heartbeat, which
-  is what lets it notice shutdown and crashed workers.
+  expires with nothing queued — the dispatcher's idle heartbeat.
 * **Bounded.**  At most ``queue_depth`` items wait; ``put`` blocks
   (backpressure) until space frees or the batcher closes.
 * **Close is drain-then-stop.**  After :meth:`close`, ``put`` raises,
   but queued items keep coming out; ``next_batch`` returns ``None``
   once closed *and* drained.
+
+New code that wants priority lanes, per-request deadlines, or weighted
+draining should use :class:`~repro.serve.scheduler.Scheduler` directly —
+``UHDServer`` now does.
 """
 
 from __future__ import annotations
 
-import threading
-import time
-from collections import deque
-from typing import Generic, Protocol, TypeVar
+from typing import Generic, TypeVar
+
+from .scheduler import Batchable, LaneConfig, Scheduler
 
 __all__ = ["Batchable", "MicroBatcher"]
-
-
-class Batchable(Protocol):
-    """Anything the batcher can coalesce: exposes its row count."""
-
-    @property
-    def rows(self) -> int: ...
 
 
 ItemT = TypeVar("ItemT", bound=Batchable)
@@ -57,29 +48,28 @@ class MicroBatcher(Generic[ItemT]):
     def __init__(
         self, max_batch: int, max_wait_s: float, queue_depth: int = 256
     ) -> None:
-        if max_batch < 1:
-            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_s < 0:
             raise ValueError(f"max_wait_s must be >= 0, got {max_wait_s}")
-        if queue_depth < 1:
-            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.queue_depth = queue_depth
-        self._items: deque[ItemT] = deque()
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
-        self._not_full = threading.Condition(self._lock)
-        self._closed = False
+        self._scheduler: Scheduler[ItemT] = Scheduler(
+            [
+                LaneConfig(
+                    name="default",
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_s * 1e3,
+                    queue_depth=queue_depth,
+                )
+            ]
+        )
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._items)
+        return len(self._scheduler)
 
     @property
     def closed(self) -> bool:
-        with self._lock:
-            return self._closed
+        return self._scheduler.closed
 
     def put(self, item: ItemT, timeout: float | None = None) -> None:
         """Enqueue ``item``, blocking while the queue is full.
@@ -89,73 +79,22 @@ class MicroBatcher(Generic[ItemT]):
         :meth:`close`, and ``TimeoutError`` if ``timeout`` elapses while
         blocked on a full queue.
         """
-        if item.rows > self.max_batch:
-            raise ValueError(
-                f"item has {item.rows} rows > max_batch={self.max_batch}; "
-                "split it before enqueueing (UHDServer.submit does)"
-            )
-        deadline = None if timeout is None else time.monotonic() + timeout
-        with self._lock:
-            while True:
-                if self._closed:
-                    raise RuntimeError("batcher is closed")
-                if len(self._items) < self.queue_depth:
-                    break
-                remaining = (
-                    None if deadline is None else deadline - time.monotonic()
-                )
-                if remaining is not None and remaining <= 0:
-                    raise TimeoutError(
-                        f"queue_depth={self.queue_depth} items already waiting"
-                    )
-                self._not_full.wait(remaining)
-            self._items.append(item)
-            self._not_empty.notify()
+        self._scheduler.put(item, timeout=timeout)
 
     def next_batch(self, poll_s: float = 0.1) -> list[ItemT] | None:
         """The next coalesced batch, in FIFO order.
 
         Blocks up to ``poll_s`` for a *first* item: an expired empty
-        window returns ``[]`` (heartbeat), letting the caller re-check
-        its own liveness conditions.  Once a first item arrives, keeps
-        accepting items until the batch would exceed ``max_batch`` rows
-        or ``max_wait_s`` passes without it filling.  Returns ``None``
-        exactly when the batcher is closed and fully drained.
+        window returns ``[]`` (heartbeat).  Once a first item arrives,
+        keeps accepting items until the batch would exceed ``max_batch``
+        rows or ``max_wait_s`` passes without it filling.  Returns
+        ``None`` exactly when the batcher is closed and fully drained.
         """
-        with self._lock:
-            if not self._waitfor_item(time.monotonic() + poll_s):
-                if self._closed and not self._items:
-                    return None
-                return []
-            batch = [self._items.popleft()]
-            rows = batch[0].rows
-            flush_at = time.monotonic() + self.max_wait_s
-            while rows < self.max_batch:
-                if not self._items:
-                    if self._closed or not self._waitfor_item(flush_at):
-                        break
-                if rows + self._items[0].rows > self.max_batch:
-                    break  # leave the overflow item for the next batch
-                item = self._items.popleft()
-                batch.append(item)
-                rows += item.rows
-            self._not_full.notify(len(batch))
-            return batch
-
-    def _waitfor_item(self, deadline: float) -> bool:
-        """Wait (lock held) until an item is queued or ``deadline``; True if queued."""
-        while not self._items:
-            if self._closed:
-                return False
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                return False
-            self._not_empty.wait(remaining)
-        return True
+        batch = self._scheduler.next_batch(poll_s=poll_s)
+        if batch is None:
+            return None
+        return batch.items
 
     def close(self) -> None:
         """Stop accepting new items; queued ones still drain via ``next_batch``."""
-        with self._lock:
-            self._closed = True
-            self._not_empty.notify_all()
-            self._not_full.notify_all()
+        self._scheduler.close()

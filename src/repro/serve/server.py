@@ -8,10 +8,12 @@
   per ``(pixels, config)`` key no matter how many servers/replicas run
   in the process, warmed *before* workers spawn so ``fork`` children
   share it copy-on-write;
-* **a bounded micro-batching queue**
-  (:class:`~repro.serve.batcher.MicroBatcher`) coalescing small
-  requests into packed-friendly batches (``max_batch`` /
-  ``max_wait_ms`` in :class:`~repro.serve.types.ServeConfig`);
+* **a priority-lane scheduler**
+  (:class:`~repro.serve.scheduler.Scheduler`) coalescing small
+  requests into packed-friendly batches per named lane (``max_batch`` /
+  ``max_wait_ms`` / ``lanes`` in :class:`~repro.serve.types.ServeConfig`),
+  draining lanes with weighted anti-starvation and failing
+  expired-deadline requests loudly instead of serving them late;
 * **a pool of worker processes** (:mod:`repro.serve.worker`) that
   warm-start from the same model file, prove readiness with the
   ``serve-check`` probe, and are respawned on crash with their
@@ -26,6 +28,11 @@ row-independent, so the labels a request gets back are identical to
 calling ``UHDClassifier.predict`` on the same rows directly, whatever
 they were coalesced with (``tests/serve/test_server.py`` asserts this
 against every built-in backend).
+
+How requests *reach* ``submit`` is the transport layer's business
+(:mod:`repro.serve.transport`): in-process calls and the threaded HTTP
+front-end both feed this same scheduler, so the contract above covers
+them identically.
 """
 
 from __future__ import annotations
@@ -39,10 +46,11 @@ from typing import Any
 
 import numpy as np
 
-from .batcher import MicroBatcher
 from .cache import encoder_cache
 from .probe import ProbeResult, readiness_probe
+from .scheduler import LaneConfig, Scheduler
 from .types import (
+    DeadlineExpiredError,
     PredictionHandle,
     ServeConfig,
     ServeError,
@@ -56,7 +64,7 @@ __all__ = ["UHDServer"]
 
 
 class _Part:
-    """One ``<= max_batch``-row slice of a request; the batcher's item."""
+    """One ``<= max_batch``-row slice of a request; the scheduler's item."""
 
     __slots__ = ("handle", "index", "images")
 
@@ -73,11 +81,12 @@ class _Part:
 class _Batch:
     """A dispatched unit: coalesced parts plus their concatenated images."""
 
-    __slots__ = ("id", "parts", "rows")
+    __slots__ = ("id", "parts", "rows", "lane")
 
-    def __init__(self, batch_id: int, parts: list[_Part]):
+    def __init__(self, batch_id: int, parts: list[_Part], lane: str | None = None):
         self.id = batch_id
         self.parts = parts
+        self.lane = lane
         self.rows = sum(p.rows for p in parts)
 
     def images(self) -> np.ndarray:
@@ -139,8 +148,11 @@ class UHDServer:
         self._accepting = False
         self._running = False
         self._failure: BaseException | None = None
+        #: resolved lane set (start()) — first entry is the default lane
+        self._lanes: tuple[LaneConfig, ...] = ()
+        self._lane_map: dict[str, LaneConfig] = {}
         # pool-mode machinery (built in start() when workers > 0)
-        self._batcher: MicroBatcher[_Part] | None = None
+        self._scheduler: Scheduler[_Part] | None = None
         self._workers: list[WorkerHandle] = []
         self._idle: deque[WorkerHandle] = deque()
         self._inflight: dict[int, _Batch] = {}
@@ -173,6 +185,8 @@ class UHDServer:
             from ..api.registry import get_backend
 
             get_backend(self.config.backend)  # fail fast on unknown names
+        self._lanes = self.config.effective_lanes()
+        self._lane_map = {lane.name: lane for lane in self._lanes}
         self._load_front_end()
         if self.config.workers > 0:
             self._publish_tables()
@@ -245,11 +259,7 @@ class UHDServer:
         self._ctx = multiprocessing.get_context(
             _resolve_start_method(self.config.start_method)
         )
-        self._batcher = MicroBatcher(
-            self.config.max_batch,
-            self.config.max_wait_ms / 1e3,
-            self.config.queue_depth,
-        )
+        self._scheduler = Scheduler(self._lanes, on_expired=self._on_expired)
         self._workers = [WorkerHandle(slot) for slot in range(self.config.workers)]
         for handle in self._workers:
             self._spawn(handle)
@@ -310,12 +320,16 @@ class UHDServer:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def close(self, drain_timeout: float = 10.0) -> None:
+    def close(self, drain_timeout: float | None = None) -> None:
         """Drain pending work (up to ``drain_timeout``), then stop everything.
 
+        ``drain_timeout`` defaults to ``config.drain_timeout_s`` — the
+        same window the CLI's SIGTERM/SIGINT handler relies on.
         Idempotent.  Requests still queued when the drain window expires
         fail with :class:`ServeError` rather than hanging their callers.
         """
+        if drain_timeout is None:
+            drain_timeout = self.config.drain_timeout_s
         if self._closed or not self._started:
             # a failed start() may have published tables before dying —
             # release them even though the server never came up
@@ -327,11 +341,11 @@ class UHDServer:
             self._release_tables()  # no-op: workers=0 never publishes
             self._closed = True
             return
-        if self._batcher is not None:
-            self._batcher.close()
+        if self._scheduler is not None:
+            self._scheduler.close()
         deadline = time.monotonic() + drain_timeout
         with self._cv:
-            # _pending_parts covers both parts queued in the batcher and a
+            # _pending_parts covers both parts queued in the scheduler and a
             # batch the dispatcher has popped but not yet registered, so a
             # request submitted before close() gets its full drain window
             while self._inflight or self._retry or self._pending_parts:
@@ -344,9 +358,9 @@ class UHDServer:
             self._retry.clear()
             self._inflight.clear()
             self._cv.notify_all()
-        # requests still queued in the batcher must fail, not hang their
+        # requests still queued in the scheduler must fail, not hang their
         # callers: drain it (closed above, so this terminates) and fail each
-        leftovers.extend(self._drain_batcher())
+        leftovers.extend(self._drain_scheduler())
         for batch in leftovers:
             batch.fail(ServeError("server closed before the request completed"))
         # threads first: they may be mid-wait on pipes that stop() closes
@@ -380,12 +394,34 @@ class UHDServer:
 
         return as_image_batch(images, self._num_pixels)
 
-    def submit(self, images: Any, timeout: float | None = None) -> PredictionHandle:
+    def _resolve_lane(self, lane: str | None) -> LaneConfig:
+        name = self._lanes[0].name if lane is None else lane
+        config = self._lane_map.get(name)
+        if config is None:
+            raise ValueError(
+                f"unknown lane {name!r}; configured lanes: "
+                f"{', '.join(l.name for l in self._lanes)}"
+            )
+        return config
+
+    def submit(
+        self,
+        images: Any,
+        timeout: float | None = None,
+        *,
+        lane: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> PredictionHandle:
         """Enqueue a prediction request; returns a :class:`PredictionHandle`.
 
-        Requests wider than ``max_batch`` are split into parts and
-        reassembled in order by the handle.  Blocks (backpressure) while
-        the micro-batching queue is full; ``timeout`` bounds that wait.
+        ``lane`` routes the request onto a named priority lane (the
+        first configured lane when ``None``); requests wider than the
+        lane's ``max_batch`` are split into parts and reassembled in
+        order by the handle.  ``deadline_ms`` bounds how long the
+        request may *queue*: parts still unscheduled when it passes fail
+        the handle with :class:`DeadlineExpiredError` instead of being
+        served late.  Blocks (backpressure) while the lane is full;
+        ``timeout`` bounds that wait.
         """
         if not self._started:
             raise ServeError("server not started (use start() or a with-block)")
@@ -393,6 +429,9 @@ class UHDServer:
             raise ServeError("server is closed")
         if self._failure is not None:
             raise ServeError(f"server failed: {self._failure}")
+        lane_config = self._resolve_lane(lane)
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError(f"deadline_ms must be > 0, got {deadline_ms}")
         arr = self._check_images(images)
         rows = arr.shape[0]
         with self._lock:
@@ -402,18 +441,25 @@ class UHDServer:
             handle = PredictionHandle(parts=0, rows=0)
             return handle
         if self.config.workers == 0:
-            return self._predict_inproc(arr)
-        step = self.config.max_batch
+            return self._predict_inproc(arr, lane_config)
+        deadline = (
+            None if deadline_ms is None
+            else time.monotonic() + deadline_ms / 1e3
+        )
+        step = lane_config.max_batch
         chunks = [arr[i:i + step] for i in range(0, rows, step)]
         handle = PredictionHandle(parts=len(chunks), rows=rows)
-        assert self._batcher is not None
+        assert self._scheduler is not None
         try:
             for index, chunk in enumerate(chunks):
                 with self._lock:
                     self._pending_parts += 1
                 try:
-                    self._batcher.put(
-                        _Part(handle, index, chunk), timeout=timeout
+                    self._scheduler.put(
+                        _Part(handle, index, chunk),
+                        lane=lane_config.name,
+                        deadline=deadline,
+                        timeout=timeout,
                     )
                 except BaseException:
                     with self._lock:
@@ -427,11 +473,34 @@ class UHDServer:
             raise error from exc
         return handle
 
-    def predict(self, images: Any, timeout: float | None = None) -> np.ndarray:
+    def predict(
+        self,
+        images: Any,
+        timeout: float | None = None,
+        *,
+        lane: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
         """Synchronous round-trip: ``submit(images).result(timeout)``."""
-        return self.submit(images, timeout=timeout).result(timeout)
+        return self.submit(
+            images, timeout=timeout, lane=lane, deadline_ms=deadline_ms
+        ).result(timeout)
 
-    def _predict_inproc(self, arr: np.ndarray) -> PredictionHandle:
+    def _on_expired(self, part: _Part, lane: str) -> None:
+        """Scheduler callback: a queued part's deadline passed — fail loudly."""
+        part.handle._fail(
+            DeadlineExpiredError(
+                f"request deadline expired while queued in lane {lane!r}; "
+                "refusing to serve it late"
+            )
+        )
+        with self._cv:
+            self._pending_parts -= 1
+            self._cv.notify_all()
+
+    def _predict_inproc(
+        self, arr: np.ndarray, lane_config: LaneConfig
+    ) -> PredictionHandle:
         """Synchronous fallback: chunked predict on the caller's thread.
 
         The shared cached encoder is not thread-safe under concurrent
@@ -439,16 +508,21 @@ class UHDServer:
         cache-wide lock (one per ``(pixels, config)`` key) — two servers
         sharing the cached encoder serialize against each other, not
         just against their own threads.  By design: this mode exists for
-        hosts without the cores to exploit concurrency anyway.
+        hosts without the cores to exploit concurrency anyway.  Lanes
+        only select the chunk size here — requests run immediately on
+        the caller's thread, so deadlines cannot expire while queued.
         """
         handle = PredictionHandle(parts=1, rows=arr.shape[0])
-        step = self.config.max_batch
+        step = lane_config.max_batch
         chunks = [arr[i:i + step] for i in range(0, arr.shape[0], step)]
         with self._encoder_lock:
             labels = [self._model.predict(chunk) for chunk in chunks]
         with self._lock:
             for chunk in chunks:
                 self._stats.record_batch(chunk.shape[0])
+            self._stats.record_lane(
+                lane_config.name, 1, arr.shape[0], len(chunks)
+            )
         handle._complete_part(0, np.concatenate(labels))
         return handle
 
@@ -456,7 +530,7 @@ class UHDServer:
     # Pool threads
     # ------------------------------------------------------------------
     def _dispatch_loop(self) -> None:
-        assert self._batcher is not None
+        assert self._scheduler is not None
         while True:
             batch: _Batch | None = None
             with self._cv:
@@ -468,14 +542,16 @@ class UHDServer:
                     # pending again until (re-)registered in _inflight
                     self._pending_parts += len(batch.parts)
             if batch is None:
-                parts = self._batcher.next_batch(poll_s=0.05)
-                if parts is None:  # closed and drained; retries may remain
+                scheduled = self._scheduler.next_batch(poll_s=0.05)
+                if scheduled is None:  # closed and drained; retries may remain
                     with self._cv:
                         self._cv.wait(0.05)
                     continue
-                if not parts:  # empty flush on timeout: idle heartbeat
+                if not scheduled:  # empty flush on timeout: idle heartbeat
                     continue
-                batch = _Batch(next(self._batch_ids), parts)
+                batch = _Batch(
+                    next(self._batch_ids), scheduled.items, lane=scheduled.lane
+                )
             worker = self._acquire_worker()
             if worker is None:
                 failure = self._failure or ServeError(
@@ -648,23 +724,27 @@ class UHDServer:
                 worker.close_pipes()
                 self._fail_if_no_workers()
 
-    def _drain_batcher(self) -> list[_Batch]:
-        """Pull every still-queued part out of the (already closed) batcher.
+    def _drain_scheduler(self) -> list[_Batch]:
+        """Pull every still-queued part out of the (already closed) scheduler.
 
         Shared by clean shutdown and the all-workers-dead path so the
         ``_pending_parts`` accounting cannot diverge between them; the
-        caller owns failing the returned batches.
+        caller owns failing the returned batches.  Parts whose deadlines
+        expired are failed by the ``on_expired`` callback along the way,
+        never returned.
         """
         drained: list[_Batch] = []
-        if self._batcher is None:
+        if self._scheduler is None:
             return drained
         while True:
-            parts = self._batcher.next_batch(poll_s=0.0)
-            if not parts:
+            scheduled = self._scheduler.next_batch(poll_s=0.0)
+            if scheduled is None or not scheduled:
                 return drained
             with self._cv:
-                self._pending_parts -= len(parts)
-            drained.append(_Batch(next(self._batch_ids), parts))
+                self._pending_parts -= len(scheduled.items)
+            drained.append(
+                _Batch(next(self._batch_ids), scheduled.items, lane=scheduled.lane)
+            )
 
     def _fail_if_no_workers(self) -> None:
         """Fail pending work when the pool can no longer serve anything."""
@@ -682,9 +762,9 @@ class UHDServer:
             self._inflight.clear()
             self._accepting = False
             self._cv.notify_all()
-        if self._batcher is not None:
-            self._batcher.close()
-            leftovers.extend(self._drain_batcher())
+        if self._scheduler is not None:
+            self._scheduler.close()
+            leftovers.extend(self._drain_scheduler())
         for batch in leftovers:
             batch.fail(failure)
 
@@ -701,10 +781,65 @@ class UHDServer:
         """The front-end model's own readiness-probe result."""
         return self._front_probe
 
+    @property
+    def lanes(self) -> tuple[LaneConfig, ...]:
+        """The resolved lane set (after start()); first entry is default."""
+        return self._lanes
+
     def stats(self) -> ServerStats:
-        """A :class:`ServerStats` snapshot of the counters so far."""
+        """A :class:`ServerStats` snapshot of the counters so far.
+
+        One-stop observability: request/batch counters, per-lane
+        scheduler depth/served/expired, and the process-wide encoder
+        cache (table bytes, live publications) — exactly what the HTTP
+        ``/stats`` endpoint serializes.
+        """
+        scheduler = self._scheduler
+        lane_stats = (
+            scheduler.stats() if scheduler is not None else ()
+        )
+        cache_stats = encoder_cache().stats()
         with self._lock:
+            if scheduler is None:
+                lane_stats = self._stats.inproc_lane_stats(self._lanes)
             return self._stats.snapshot(
                 mode="inproc" if self.config.workers == 0 else "pool",
                 workers=self.config.workers,
+                lanes=lane_stats,
+                cache=cache_stats,
             )
+
+    def healthz(self) -> dict:
+        """Liveness/readiness summary for health endpoints.
+
+        ``ok`` is True while the server accepts traffic and (in pool
+        mode) at least one worker is alive.  ``probe`` reports the
+        front-end's :func:`~repro.serve.probe.readiness_probe` result —
+        the same deterministic-predictions check ``serve-check`` runs.
+        """
+        with self._cv:
+            live = sum(
+                1 for w in self._workers if w.state in ("idle", "busy")
+            )
+            starting = sum(1 for w in self._workers if w.state == "starting")
+            ok = bool(
+                self._started
+                and self._accepting
+                and self._failure is None
+                and (self.config.workers == 0 or live + starting > 0)
+            )
+        probe = self._front_probe
+        return {
+            "ok": ok,
+            "status": "ok" if ok else "unavailable",
+            "mode": "inproc" if self.config.workers == 0 else "pool",
+            "workers": self.config.workers,
+            "workers_live": live,
+            "lanes": [lane.name for lane in self._lanes],
+            "probe": None if probe is None else {
+                "median_ms": probe.median_ms,
+                "images_per_s": probe.images_per_s,
+                "batch": probe.batch,
+                "deterministic": probe.deterministic,
+            },
+        }

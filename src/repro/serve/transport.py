@@ -1,0 +1,401 @@
+"""Transports: how requests reach :meth:`UHDServer.submit`.
+
+The serving front-end is deliberately transport-agnostic — the
+scheduler and worker pool neither know nor care whether a request
+arrived as a Python call or over a socket.  This module makes that
+boundary explicit:
+
+* :class:`Transport` — the tiny protocol every transport satisfies
+  (``start`` / ``close`` / ``address``).
+* :class:`InProcessTransport` — today's Python API, unchanged
+  semantics: a thin named wrapper around ``server.submit`` /
+  ``server.predict`` for code that wants to treat "call the server
+  directly" as just another transport choice.
+* :class:`HttpTransport` — a **stdlib-only** threaded HTTP front-end
+  (``http.server.ThreadingHTTPServer``): each connection gets a handler
+  thread whose ``POST /predict`` blocks on ``server.submit(...).result()``
+  — many concurrent requests therefore feed the scheduler
+  *concurrently* and coalesce into wide batches exactly like in-process
+  callers.  No third-party framework, no event loop.
+
+HTTP endpoints
+--------------
+``POST /predict``
+    JSON body ``{"images": [[...], ...], "lane": "interactive",
+    "deadline_ms": 50}`` (``lane``/``deadline_ms`` optional, also
+    accepted as query parameters), or raw ``application/octet-stream``
+    uint8 bytes — row count inferred from the model's pixel count, or
+    pinned with an ``X-UHD-Rows`` header.  Responds
+    ``{"labels": [...], "rows": N, "lane": ...}``.  Labels are
+    **bit-exact** with ``UHDClassifier.predict``: the transport decodes
+    bytes into the same uint8 arrays an in-process caller would pass,
+    and the server only routes (contract 5 in ``docs/ARCHITECTURE.md``).
+    Errors: 400 (malformed payload, unknown lane, wrong pixel count),
+    503 (server closed/failed), 504 (deadline expired while queued, or
+    the transport's ``request_timeout_s`` elapsed).
+``GET /healthz``
+    200/503 with :meth:`UHDServer.healthz` — liveness plus the
+    front-end's ``readiness_probe`` result (the same deterministic-
+    predictions check ``serve-check`` runs).
+``GET /stats``
+    200 with :meth:`UHDServer.stats` serialized via
+    ``ServerStats.as_dict()`` — request/batch counters, per-lane
+    depth/served/expired, encoder-cache table bytes and publications.
+
+Lifecycle: the transport *borrows* the server — ``close()`` stops
+accepting connections and joins in-flight handler threads, but never
+closes the ``UHDServer`` (its owner does, usually a ``with`` block
+around both).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from .types import DeadlineExpiredError, ServeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import UHDServer
+
+__all__ = ["Transport", "InProcessTransport", "HttpTransport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """Anything that can feed requests to a running :class:`UHDServer`."""
+
+    def start(self) -> "Transport": ...
+
+    def close(self) -> None: ...
+
+    @property
+    def address(self) -> str: ...
+
+
+class InProcessTransport:
+    """The null transport: requests are plain Python calls.
+
+    Exists so deployment code can select "in-process" and "HTTP" through
+    one interface; ``submit``/``predict`` delegate to the server with
+    identical semantics (same handles, same lanes, same deadlines).
+    """
+
+    def __init__(self, server: "UHDServer") -> None:
+        self._server = server
+
+    def start(self) -> "InProcessTransport":
+        return self
+
+    def close(self) -> None:
+        pass  # the server's owner closes the server
+
+    @property
+    def address(self) -> str:
+        return "inproc://uhd-server"
+
+    def submit(
+        self,
+        images: Any,
+        timeout: float | None = None,
+        *,
+        lane: str | None = None,
+        deadline_ms: float | None = None,
+    ):
+        return self._server.submit(
+            images, timeout=timeout, lane=lane, deadline_ms=deadline_ms
+        )
+
+    def predict(
+        self,
+        images: Any,
+        timeout: float | None = None,
+        *,
+        lane: str | None = None,
+        deadline_ms: float | None = None,
+    ) -> np.ndarray:
+        return self._server.predict(
+            images, timeout=timeout, lane=lane, deadline_ms=deadline_ms
+        )
+
+
+class HttpTransport:
+    """Threaded HTTP front-end over a running :class:`UHDServer`.
+
+    ``port=0`` (the default) binds an ephemeral port — read it back
+    from :attr:`port` / :attr:`address` after :meth:`start`.  Handler
+    threads block on ``submit(...).result(request_timeout_s)``, so
+    concurrent connections coalesce in the scheduler like any other
+    concurrent submitters.
+    """
+
+    def __init__(
+        self,
+        server: "UHDServer",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        if request_timeout_s <= 0:
+            raise ValueError(
+                f"request_timeout_s must be > 0, got {request_timeout_s}"
+            )
+        self._server = server
+        self._host = host
+        self._requested_port = port
+        self._request_timeout_s = request_timeout_s
+        self._httpd: Any = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "HttpTransport":
+        """Bind the socket and start accepting connections."""
+        if self._httpd is not None:
+            return self
+        from http.server import ThreadingHTTPServer
+
+        handler = _make_handler(self._server, self._request_timeout_s)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        # join in-flight handler threads on close(): an operator-initiated
+        # shutdown answers accepted requests before tearing anything down.
+        # daemon_threads must stay False for that — socketserver does not
+        # track daemon handler threads, which would make block_on_close a
+        # silent no-op; every handler operation is bounded (socket reads
+        # by Handler.timeout, predictions by request_timeout_s), so the
+        # join cannot hang indefinitely.
+        self._httpd.daemon_threads = False
+        self._httpd.block_on_close = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="uhd-http-transport",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is None:
+            return self._requested_port
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop accepting connections; wait for in-flight handlers.
+
+        A request already accepted is answered before this returns.  A
+        keep-alive connection that is merely *idle* holds its handler
+        thread until the client disconnects or the per-request read
+        timeout (``request_timeout_s``) elapses — close clients first
+        for an instant shutdown (the CLI and benchmarks do).
+        """
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "HttpTransport":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _make_handler(server: "UHDServer", request_timeout_s: float):
+    """Build the request-handler class bound to ``server``.
+
+    A fresh class per transport keeps two transports over different
+    servers in one process from sharing state through class attributes.
+    """
+    from http.server import BaseHTTPRequestHandler
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "uhd-serve"
+        timeout = request_timeout_s  #: bounds socket reads per request
+
+        def log_message(self, *args: Any) -> None:  # pragma: no cover
+            pass  # stay quiet; operators have /stats
+
+        # -------------------------------------------------- responses
+        def _send_json(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            # error paths may not have consumed the request body; keeping
+            # the HTTP/1.1 connection alive would let those stale bytes be
+            # parsed as the next request line, poisoning a perfectly good
+            # follow-up — close instead (and say so to the client)
+            self.close_connection = True
+            self._send_json(status, {"error": message})
+
+        # -------------------------------------------------- GET
+        def do_GET(self) -> None:
+            path = self.path.split("?", 1)[0]
+            if path == "/healthz":
+                health = server.healthz()
+                self._send_json(200 if health["ok"] else 503, health)
+            elif path == "/stats":
+                self._send_json(200, server.stats().as_dict())
+            else:
+                self._send_error_json(404, f"unknown path {path!r}")
+
+        # -------------------------------------------------- POST
+        def do_POST(self) -> None:
+            path = self.path.split("?", 1)[0]
+            if path != "/predict":
+                self._send_error_json(404, f"unknown path {path!r}")
+                return
+            try:
+                images, lane, deadline_ms = self._parse_predict_request()
+            except ValueError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            try:
+                labels = server.submit(
+                    images,
+                    timeout=request_timeout_s,
+                    lane=lane,
+                    deadline_ms=deadline_ms,
+                ).result(request_timeout_s)
+            except DeadlineExpiredError as exc:
+                self._send_error_json(504, str(exc))
+                return
+            except TimeoutError:
+                self._send_error_json(
+                    504, f"prediction exceeded {request_timeout_s}s"
+                )
+                return
+            except ValueError as exc:  # unknown lane, wrong pixel count
+                self._send_error_json(400, str(exc))
+                return
+            except ServeError as exc:
+                self._send_error_json(503, str(exc))
+                return
+            self._send_json(
+                200,
+                {
+                    "labels": [int(label) for label in labels],
+                    "rows": int(labels.shape[0]),
+                    "lane": lane,
+                },
+            )
+
+        # -------------------------------------------------- parsing
+        def _query_params(self) -> dict[str, str]:
+            from urllib.parse import parse_qsl
+
+            if "?" not in self.path:
+                return {}
+            return dict(parse_qsl(self.path.split("?", 1)[1]))
+
+        def _parse_predict_request(self):
+            """(images, lane, deadline_ms) from the request, or ValueError."""
+            # consume the body FIRST: an early validation error must not
+            # leave unread bytes on a keep-alive socket
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length > 0 else b""
+            params = self._query_params()
+            lane = params.get("lane")
+            deadline_ms: float | None = None
+            if "deadline_ms" in params:
+                try:
+                    deadline_ms = float(params["deadline_ms"])
+                except ValueError:
+                    raise ValueError(
+                        f"deadline_ms must be a number, got "
+                        f"{params['deadline_ms']!r}"
+                    ) from None
+            if not body:
+                raise ValueError("empty request body")
+            content_type = (self.headers.get("Content-Type") or "").split(";")[0]
+            if content_type == "application/octet-stream":
+                images = self._decode_raw(body)
+            else:
+                images, lane, deadline_ms = self._decode_json(
+                    body, lane, deadline_ms
+                )
+            return images, lane, deadline_ms
+
+        def _decode_raw(self, body: bytes) -> np.ndarray:
+            """Raw uint8 image bytes -> (rows, num_pixels)."""
+            num_pixels = server.num_pixels
+            if num_pixels is None or num_pixels <= 0:
+                raise ValueError("server has no pixel geometry yet")
+            rows_header = self.headers.get("X-UHD-Rows")
+            if rows_header is not None:
+                try:
+                    rows = int(rows_header)
+                except ValueError:
+                    raise ValueError(
+                        f"X-UHD-Rows must be an integer, got {rows_header!r}"
+                    ) from None
+            elif len(body) % num_pixels == 0:
+                rows = len(body) // num_pixels
+            else:
+                raise ValueError(
+                    f"body of {len(body)} bytes is not a multiple of "
+                    f"{num_pixels} pixels; send (rows * pixels) uint8 bytes "
+                    "or an X-UHD-Rows header"
+                )
+            if rows * num_pixels != len(body):
+                raise ValueError(
+                    f"X-UHD-Rows={rows} x {num_pixels} pixels != "
+                    f"{len(body)} body bytes"
+                )
+            return np.frombuffer(body, dtype=np.uint8).reshape(rows, num_pixels)
+
+        def _decode_json(self, body, lane, deadline_ms):
+            """JSON body -> (uint8 images, lane, deadline_ms); body wins."""
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"request body is not valid JSON: {exc}") from None
+            if not isinstance(payload, dict) or "images" not in payload:
+                raise ValueError('JSON body must be {"images": [...], ...}')
+            if "lane" in payload and payload["lane"] is not None:
+                lane = payload["lane"]
+                if not isinstance(lane, str):
+                    raise ValueError(f"lane must be a string, got {lane!r}")
+            if "deadline_ms" in payload and payload["deadline_ms"] is not None:
+                deadline_ms = payload["deadline_ms"]
+                if not isinstance(deadline_ms, (int, float)):
+                    raise ValueError(
+                        f"deadline_ms must be a number, got {deadline_ms!r}"
+                    )
+            try:
+                images = np.asarray(payload["images"])
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"images are not a rectangular array: {exc}") from None
+            if images.size and (
+                not np.issubdtype(images.dtype, np.integer)
+                or images.min() < 0
+                or images.max() > 255
+            ):
+                raise ValueError(
+                    "images must be integers in [0, 255] (uint8 intensities)"
+                )
+            # uint8 is exactly what an in-process caller passes, which is
+            # what keeps HTTP-served labels bit-exact with direct predict
+            return images.astype(np.uint8, copy=False), lane, deadline_ms
+
+    return Handler

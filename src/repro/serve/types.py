@@ -17,13 +17,18 @@ crashes (crashed batches are re-queued onto a fresh worker).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
+
+from .scheduler import LaneConfig, LaneStats
 
 if TYPE_CHECKING:  # pragma: no cover
     import numpy as np
 
+    from .cache import CacheStats
+
 __all__ = [
+    "DeadlineExpiredError",
     "ServeConfig",
     "ServeError",
     "WorkerCrashError",
@@ -39,6 +44,16 @@ class ServeError(RuntimeError):
 
 class WorkerCrashError(ServeError):
     """A worker process died and the request exhausted its restart budget."""
+
+
+class DeadlineExpiredError(ServeError):
+    """The request's deadline passed while it was still queued.
+
+    The scheduler never serves an expired request late: it is removed
+    from its lane (mid-queue included) and its handle fails with this
+    error, so the caller learns immediately instead of receiving a
+    stale answer.  Counted per lane in ``ServerStats.lanes[*].expired``.
+    """
 
 
 @dataclass(frozen=True)
@@ -62,6 +77,21 @@ class ServeConfig:
         dispatcher waits at most this long for more requests to coalesce
         before flushing a partial batch.  ``0`` flushes immediately
         (lowest latency, least coalescing).
+    lanes:
+        Named priority lanes (:class:`~repro.serve.scheduler.LaneConfig`)
+        the scheduler drains with weighted anti-starvation — e.g. an
+        ``interactive`` lane with a 1 ms window next to a ``bulk`` lane
+        with a 50 ms window.  The *first* lane is the default
+        ``submit`` uses when none is named.  Lane knobs left ``None``
+        inherit the server-wide ``max_batch`` / ``max_wait_ms`` /
+        ``queue_depth``.  Empty (the default) means one ``"default"``
+        lane built from those server-wide knobs — the exact
+        pre-scheduler behavior.
+    drain_timeout_s:
+        How long :meth:`~repro.serve.server.UHDServer.close` (and the
+        CLI's SIGTERM/SIGINT handler) waits for in-flight and queued
+        requests to finish before failing the stragglers loudly and
+        stopping the workers.
     backend:
         Registry backend name every worker re-homes the loaded model
         onto (``None`` keeps the backend recorded in the model file).
@@ -99,6 +129,7 @@ class ServeConfig:
     workers: int = 1
     max_batch: int = 64
     max_wait_ms: float = 2.0
+    lanes: tuple[LaneConfig, ...] = ()
     backend: str | None = None
     queue_depth: int = 256
     restart_limit: int = 3
@@ -106,6 +137,28 @@ class ServeConfig:
     table_store: str = "heap"
     ready_timeout_s: float = 60.0
     probe_batch: int = 8
+    drain_timeout_s: float = 10.0
+
+    def effective_lanes(self) -> tuple[LaneConfig, ...]:
+        """The fully resolved lane set the scheduler runs.
+
+        Configured lanes with their ``None`` knobs filled from the
+        server-wide defaults; or, when no lanes were named, a single
+        ``"default"`` lane carrying exactly the server-wide knobs.
+        """
+        if not self.lanes:
+            return (
+                LaneConfig(
+                    name="default",
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                    queue_depth=self.queue_depth,
+                ),
+            )
+        return tuple(
+            lane.resolved(self.max_batch, self.max_wait_ms, self.queue_depth)
+            for lane in self.lanes
+        )
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -132,6 +185,16 @@ class ServeConfig:
             )
         if self.probe_batch < 1:
             raise ValueError(f"probe_batch must be >= 1, got {self.probe_batch}")
+        if self.drain_timeout_s < 0:
+            raise ValueError(
+                f"drain_timeout_s must be >= 0, got {self.drain_timeout_s}"
+            )
+        if not isinstance(self.lanes, tuple):
+            # keep the config hashable/frozen-friendly; accept any sequence
+            object.__setattr__(self, "lanes", tuple(self.lanes))
+        names = [lane.name for lane in self.lanes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate lane names: {names}")
 
 
 @dataclass(frozen=True)
@@ -140,6 +203,12 @@ class ServerStats:
 
     ``mean_batch_size`` is the coalescing health metric: near 1.0 under
     a trickle of traffic, approaching ``max_batch`` under load.
+    ``lanes`` carries one :class:`~repro.serve.scheduler.LaneStats` per
+    configured lane (depth, served, expired-deadline counts) and
+    ``cache`` the process-wide :class:`~repro.serve.cache.CacheStats`
+    (encoder entries, gather-table bytes, live publications) — together
+    the one-stop operator view the ``/stats`` HTTP endpoint serializes
+    via :meth:`as_dict`.
     """
 
     mode: str  #: ``"pool"`` (worker processes) or ``"inproc"`` (fallback)
@@ -155,6 +224,16 @@ class ServerStats:
     #: the worker *attached* the published tables (fork copy-on-write, or a
     #: mmap/shm table store under spawn) instead of rebuilding them
     worker_table_builds: tuple[int, ...] = ()
+    #: per-lane scheduler counters, in lane declaration order
+    lanes: tuple[LaneStats, ...] = ()
+    #: request parts failed on an expired deadline (sum over lanes)
+    expired: int = 0
+    #: process-wide encoder-cache snapshot (entries, table bytes, publications)
+    cache: "CacheStats | None" = None
+
+    def as_dict(self) -> dict:
+        """A JSON-serializable view (nested dataclasses become dicts)."""
+        return asdict(self)
 
 
 class PredictionHandle:
@@ -226,13 +305,48 @@ class _StatCounters:
     restarts: int = 0
     probe_ms: dict[int, float] = field(default_factory=dict)
     table_builds: dict[int, int] = field(default_factory=dict)
+    #: inproc-mode per-lane tallies keyed by lane name: [parts, rows, batches]
+    lane_served: dict[str, list[int]] = field(default_factory=dict)
 
     def record_batch(self, rows: int) -> None:
         self.batches += 1
         self.batched_images += rows
         self.max_batch_seen = max(self.max_batch_seen, rows)
 
-    def snapshot(self, mode: str, workers: int) -> ServerStats:
+    def record_lane(self, lane: str, parts: int, rows: int, batches: int) -> None:
+        tally = self.lane_served.setdefault(lane, [0, 0, 0])
+        tally[0] += parts
+        tally[1] += rows
+        tally[2] += batches
+
+    def inproc_lane_stats(
+        self, lanes: tuple[LaneConfig, ...]
+    ) -> tuple[LaneStats, ...]:
+        """Synthesized lane counters for the queue-less in-process mode."""
+        stats = []
+        for lane in lanes:
+            parts, rows, batches = self.lane_served.get(lane.name, (0, 0, 0))
+            stats.append(
+                LaneStats(
+                    name=lane.name,
+                    depth=0,
+                    queued_rows=0,
+                    submitted=parts,
+                    served=parts,
+                    served_rows=rows,
+                    batches=batches,
+                    expired=0,
+                )
+            )
+        return tuple(stats)
+
+    def snapshot(
+        self,
+        mode: str,
+        workers: int,
+        lanes: tuple[LaneStats, ...] = (),
+        cache: "CacheStats | None" = None,
+    ) -> ServerStats:
         mean = self.batched_images / self.batches if self.batches else 0.0
         return ServerStats(
             mode=mode,
@@ -249,4 +363,7 @@ class _StatCounters:
             worker_table_builds=tuple(
                 self.table_builds[k] for k in sorted(self.table_builds)
             ),
+            lanes=lanes,
+            expired=sum(lane.expired for lane in lanes),
+            cache=cache,
         )

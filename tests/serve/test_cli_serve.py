@@ -75,3 +75,68 @@ class TestServeCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "serve" in out and "serve-check" in out
+
+
+class TestServeHttpCli:
+    def test_http_round_trip_with_lanes_and_deadline(self, model_path, capsys):
+        """The CI HTTP leg: --http-port 0 round-trips go over real HTTP,
+        verify bit-exactness, and hit /healthz and /stats."""
+        assert main([
+            "serve", "--model", model_path, "--workers", "1",
+            "--rounds", "2", "--batch", "4", "--http-port", "0",
+            "--lane", "interactive:16:1:4", "--lane", "bulk:64:20",
+            "--deadline-ms", "60000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "http: listening on http://127.0.0.1:" in out
+        assert "via HTTP" in out
+        assert "verify OK" in out  # HTTP labels bit-exact with direct predict
+        assert "healthz: ok" in out
+        assert "interactive: served 8 row(s), expired 0" in out
+        assert "shutdown clean" in out
+
+    def test_http_in_process_fallback(self, model_path, capsys):
+        assert main([
+            "serve", "--model", model_path, "--workers", "0",
+            "--rounds", "1", "--batch", "4", "--http-port", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "via HTTP" in out and "verify OK" in out
+        assert "healthz: ok" in out
+
+    def test_lane_spec_parsing(self):
+        from repro.cli import _parse_lane
+
+        lane = _parse_lane("bulk::50")
+        assert lane.name == "bulk"
+        assert lane.max_batch is None  # inherits --max-batch
+        assert lane.max_wait_ms == 50.0
+        assert lane.weight == 1.0
+        full = _parse_lane("interactive:16:1:4")
+        assert (full.max_batch, full.max_wait_ms, full.weight) == (16, 1.0, 4.0)
+
+    @pytest.mark.parametrize(
+        "spec", ["", "a:b", "a:1:x", "a:1:2:3:4:5", "a:0"]
+    )
+    def test_bad_lane_spec_rejected(self, spec):
+        import argparse
+
+        from repro.cli import _parse_lane
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_lane(spec)
+
+    def test_serve_forever_without_http_port_fails_fast(self, model_path):
+        """A supervisor must get an error, not a self-test run that exits."""
+        with pytest.raises(SystemExit, match="requires --http-port"):
+            main([
+                "serve", "--model", model_path, "--workers", "0",
+                "--serve-forever",
+            ])
+
+    def test_duplicate_lane_names_fail_at_config(self, model_path):
+        with pytest.raises(ValueError, match="duplicate"):
+            main([
+                "serve", "--model", model_path, "--workers", "0",
+                "--rounds", "1", "--lane", "a", "--lane", "a",
+            ])

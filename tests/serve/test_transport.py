@@ -1,0 +1,500 @@
+"""Transport layer: HTTP bit-exactness, endpoints, lanes/deadlines, errors.
+
+The HTTP transport must be a pure pipe: labels served over the socket
+are bit-exact with ``UHDClassifier.predict`` (and therefore with
+in-process ``submit``) on every backend and start method — the server
+routes, the transport only encodes/decodes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DeadlineExpiredError,
+    HttpTransport,
+    InProcessTransport,
+    LaneConfig,
+    ServeConfig,
+    Transport,
+    UHDServer,
+)
+
+
+def _post_json(address: str, payload: dict, timeout: float = 30.0) -> dict:
+    request = urllib.request.Request(
+        address + "/predict",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.load(response)
+
+
+def _get_json(address: str, path: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(address + path, timeout=timeout) as response:
+        return json.load(response)
+
+
+@pytest.fixture
+def inproc_http(model_path):
+    """An HTTP transport over the in-process fallback (fast, no pool)."""
+    config = ServeConfig(
+        workers=0,
+        max_batch=16,
+        lanes=(
+            LaneConfig("interactive", max_batch=16, max_wait_ms=1.0, weight=4.0),
+            LaneConfig("bulk", max_wait_ms=20.0),
+        ),
+    )
+    with UHDServer(model_path, config) as server:
+        with HttpTransport(server) as transport:
+            yield server, transport
+
+
+class TestHttpPredict:
+    def test_json_round_trip_bit_exact(
+        self, inproc_http, serve_data, direct_labels
+    ):
+        _, transport = inproc_http
+        reply = _post_json(
+            transport.address, {"images": serve_data.test_images[:8].tolist()}
+        )
+        assert reply["rows"] == 8
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels[:8])
+
+    def test_raw_bytes_round_trip_bit_exact(
+        self, inproc_http, serve_data, direct_labels
+    ):
+        _, transport = inproc_http
+        body = np.ascontiguousarray(
+            serve_data.test_images[:5], dtype=np.uint8
+        ).tobytes()
+        request = urllib.request.Request(
+            transport.address + "/predict",
+            data=body,
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            reply = json.load(response)
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels[:5])
+
+    def test_lane_selected_via_body_and_query(
+        self, inproc_http, serve_data, direct_labels
+    ):
+        server, transport = inproc_http
+        reply = _post_json(
+            transport.address,
+            {"images": serve_data.test_images[:2].tolist(), "lane": "bulk"},
+        )
+        assert reply["lane"] == "bulk"
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels[:2])
+        body = np.ascontiguousarray(
+            serve_data.test_images[:2], dtype=np.uint8
+        ).tobytes()
+        request = urllib.request.Request(
+            transport.address + "/predict?lane=bulk&deadline_ms=60000",
+            data=body,
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            assert json.load(response)["lane"] == "bulk"
+        lanes = {s.name: s for s in server.stats().lanes}
+        assert lanes["bulk"].served_rows == 4
+
+    def test_unknown_lane_is_400(self, inproc_http, serve_data):
+        _, transport = inproc_http
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_json(
+                transport.address,
+                {"images": serve_data.test_images[:1].tolist(), "lane": "vip"},
+            )
+        assert err.value.code == 400
+        assert "unknown lane" in json.load(err.value)["error"]
+
+    def test_wrong_pixel_count_is_400(self, inproc_http):
+        _, transport = inproc_http
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_json(transport.address, {"images": [[1, 2, 3]]})
+        assert err.value.code == 400
+        assert "pixels" in json.load(err.value)["error"]
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"images": [[0.5] * 4]},  # non-integer intensities
+            {"images": [[300] * 4]},  # out of uint8 range
+            {"wrong_key": []},
+            {"images": [[1, 2], [3]]},  # ragged
+        ],
+    )
+    def test_malformed_payloads_are_400(self, inproc_http, payload):
+        _, transport = inproc_http
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post_json(transport.address, payload)
+        assert err.value.code == 400
+
+    def test_invalid_json_is_400(self, inproc_http):
+        _, transport = inproc_http
+        request = urllib.request.Request(
+            transport.address + "/predict",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+
+    def test_raw_bytes_length_mismatch_is_400(self, inproc_http):
+        _, transport = inproc_http
+        request = urllib.request.Request(
+            transport.address + "/predict",
+            data=b"\x00" * 13,  # not a multiple of num_pixels
+            headers={"Content-Type": "application/octet-stream"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+
+    def test_unknown_path_is_404(self, inproc_http):
+        _, transport = inproc_http
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get_json(transport.address, "/nope")
+        assert err.value.code == 404
+
+    def test_keep_alive_connection_survives_an_error_response(
+        self, inproc_http, serve_data, direct_labels
+    ):
+        """An error reply must not poison a persistent connection: the
+        server closes it (Connection: close) instead of leaving unread
+        body bytes to be parsed as the next request line."""
+        import http.client
+
+        _, transport = inproc_http
+        conn = http.client.HTTPConnection("127.0.0.1", transport.port,
+                                          timeout=30.0)
+        try:
+            # malformed deadline in the query string, with an unread body
+            conn.request(
+                "POST", "/predict?deadline_ms=notanumber",
+                body=json.dumps(
+                    {"images": serve_data.test_images[:2].tolist()}
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert response.headers.get("Connection") == "close"
+            response.read()
+            # a fresh request (http.client reconnects transparently after
+            # a server-side close) must succeed with correct labels
+            conn.request(
+                "POST", "/predict",
+                body=json.dumps(
+                    {"images": serve_data.test_images[:2].tolist()}
+                ),
+                headers={"Content-Type": "application/json"},
+            )
+            reply = json.loads(conn.getresponse().read())
+        finally:
+            conn.close()
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels[:2])
+
+    def test_close_waits_for_in_flight_handlers(
+        self, model_path, serve_data, direct_labels
+    ):
+        """transport.close() must join handler threads: a request accepted
+        before close gets its answer, not a reset."""
+        # a long coalescing window holds the lone request in flight: the
+        # dispatcher waits ~300ms for more traffic before dispatching it
+        config = ServeConfig(workers=1, max_batch=64, max_wait_ms=300.0)
+        with UHDServer(model_path, config) as server:
+            transport = HttpTransport(server).start()
+            reply: dict = {}
+
+            def slow_post():
+                reply.update(
+                    _post_json(
+                        transport.address,
+                        {"images": serve_data.test_images[:1].tolist()},
+                        timeout=60.0,
+                    )
+                )
+
+            thread = threading.Thread(target=slow_post)
+            thread.start()
+            time.sleep(0.1)  # the request is accepted and mid-window now
+            transport.close()  # must block until the handler answered
+            assert reply, "close() returned before the in-flight answer"
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+        assert np.array_equal(
+            np.asarray(reply["labels"]), direct_labels[:1]
+        )
+
+
+class TestHttpObservability:
+    def test_healthz_reports_ok_and_probe(self, inproc_http):
+        _, transport = inproc_http
+        health = _get_json(transport.address, "/healthz")
+        assert health["ok"] is True and health["status"] == "ok"
+        assert health["mode"] == "inproc"
+        assert health["lanes"] == ["interactive", "bulk"]
+        assert health["probe"]["deterministic"] is True
+        assert health["probe"]["median_ms"] > 0
+
+    def test_stats_exposes_lanes_and_cache(
+        self, inproc_http, serve_data
+    ):
+        _, transport = inproc_http
+        _post_json(
+            transport.address, {"images": serve_data.test_images[:4].tolist()}
+        )
+        stats = _get_json(transport.address, "/stats")
+        assert stats["requests"] >= 1
+        lanes = {lane["name"]: lane for lane in stats["lanes"]}
+        assert lanes["interactive"]["served_rows"] >= 4  # default lane
+        assert lanes["bulk"]["expired"] == 0
+        # the operator's one-stop view: encoder cache surfaces here too
+        assert stats["cache"]["entries"] >= 1
+        assert stats["cache"]["table_bytes"] > 0
+
+    def test_healthz_unavailable_after_close(self, model_path):
+        server = UHDServer(model_path, ServeConfig(workers=0)).start()
+        transport = HttpTransport(server).start()
+        try:
+            server.close()
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get_json(transport.address, "/healthz")
+            assert err.value.code == 503
+        finally:
+            transport.close()
+
+
+class TestHttpPool:
+    """The real deployment shape: handler threads feeding the pool."""
+
+    def test_pool_round_trip_bit_exact_under_both_start_methods(
+        self, model_path, serve_data, direct_labels, start_method
+    ):
+        config = ServeConfig(
+            workers=2, max_batch=16, max_wait_ms=1.0, start_method=start_method,
+            table_store="shm" if start_method == "spawn" else "heap",
+        )
+        with UHDServer(model_path, config) as server:
+            with HttpTransport(server) as transport:
+                reply = _post_json(
+                    transport.address,
+                    {"images": serve_data.test_images.tolist()},
+                    timeout=60.0,
+                )
+                health = _get_json(transport.address, "/healthz")
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels)
+        assert health["mode"] == "pool" and health["workers_live"] == 2
+
+    @pytest.mark.parametrize("backend", ["packed", "threaded"])
+    def test_backends_bit_exact_over_http(
+        self, model_path, serve_data, direct_labels, backend
+    ):
+        config = ServeConfig(workers=1, backend=backend)
+        with UHDServer(model_path, config) as server:
+            with HttpTransport(server) as transport:
+                reply = _post_json(
+                    transport.address,
+                    {"images": serve_data.test_images.tolist()},
+                    timeout=60.0,
+                )
+        assert np.array_equal(np.asarray(reply["labels"]), direct_labels)
+
+    def test_concurrent_posts_coalesce_and_stay_bit_exact(
+        self, model_path, serve_data, direct_labels
+    ):
+        """Many handler threads feed the scheduler at once — answers must
+        come back bit-exact and matched to their own request."""
+        config = ServeConfig(workers=1, max_batch=64, max_wait_ms=20.0)
+        with UHDServer(model_path, config) as server:
+            with HttpTransport(server) as transport:
+                results: dict[int, np.ndarray] = {}
+                errors: list[Exception] = []
+
+                def post(index: int) -> None:
+                    try:
+                        reply = _post_json(
+                            transport.address,
+                            {"images": serve_data.test_images[index].tolist()},
+                            timeout=60.0,
+                        )
+                        results[index] = np.asarray(reply["labels"])
+                    except Exception as exc:  # pragma: no cover - surfaced below
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=post, args=(i,)) for i in range(16)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=60.0)
+                stats = server.stats()
+        assert not errors
+        for index, labels in results.items():
+            assert np.array_equal(labels, direct_labels[index:index + 1])
+        assert len(results) == 16
+        assert stats.batches < 16  # concurrency actually coalesced
+
+
+class TestDeadlinesThroughTheServer:
+    def test_deadline_expires_behind_a_flood(
+        self, model_path, serve_data
+    ):
+        """A tiny deadline behind a deep single-row queue cannot be met:
+        the handle fails with DeadlineExpiredError, never serves late."""
+        config = ServeConfig(workers=1, max_batch=1, max_wait_ms=0.0)
+        with UHDServer(model_path, config) as server:
+            flood = [
+                server.submit(serve_data.test_images[i % 8]) for i in range(60)
+            ]
+            doomed = server.submit(
+                serve_data.test_images[0], deadline_ms=1.0
+            )
+            with pytest.raises(DeadlineExpiredError, match="expired"):
+                doomed.result(timeout=30.0)
+            for handle in flood:
+                handle.result(timeout=60.0)
+            stats = server.stats()
+        assert stats.expired >= 1
+        assert sum(lane.expired for lane in stats.lanes) == stats.expired
+
+    def test_invalid_deadline_rejected(self, model_path, serve_data):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.submit(serve_data.test_images[:1], deadline_ms=0.0)
+
+
+class TestLaneServing:
+    def test_unknown_lane_rejected_at_submit(self, model_path, serve_data):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            with pytest.raises(ValueError, match="unknown lane"):
+                server.submit(serve_data.test_images[:1], lane="vip")
+
+    def test_oversize_request_splits_to_the_lane_bound(
+        self, model_path, serve_data, direct_labels
+    ):
+        """A request routed to a narrow lane splits to *that* lane's
+        max_batch, not the server-wide bound."""
+        config = ServeConfig(
+            workers=1,
+            max_batch=64,
+            lanes=(
+                LaneConfig("wide", max_batch=64),
+                LaneConfig("narrow", max_batch=8, max_wait_ms=0.0),
+            ),
+        )
+        with UHDServer(model_path, config) as server:
+            got = server.predict(
+                serve_data.test_images, lane="narrow", timeout=60.0
+            )
+            stats = server.stats()
+        assert np.array_equal(got, direct_labels)
+        lanes = {s.name: s for s in stats.lanes}
+        rows = serve_data.test_images.shape[0]
+        assert lanes["narrow"].served == -(-rows // 8)  # split into 8-row parts
+        assert stats.max_batch_seen <= 8
+
+    def test_lane_stats_surface_in_pool_mode(
+        self, model_path, serve_data, direct_labels
+    ):
+        config = ServeConfig(
+            workers=1,
+            lanes=(
+                LaneConfig("interactive", max_batch=16, max_wait_ms=1.0),
+                LaneConfig("bulk", max_wait_ms=20.0),
+            ),
+        )
+        with UHDServer(model_path, config) as server:
+            assert np.array_equal(
+                server.predict(serve_data.test_images[:8], lane="interactive",
+                               timeout=60.0),
+                direct_labels[:8],
+            )
+            assert np.array_equal(
+                server.predict(serve_data.test_images[:4], lane="bulk",
+                               timeout=60.0),
+                direct_labels[:4],
+            )
+            stats = server.stats()
+        lanes = {s.name: s for s in stats.lanes}
+        assert lanes["interactive"].served_rows == 8
+        assert lanes["bulk"].served_rows == 4
+        assert stats.as_dict()["lanes"][0]["name"] == "interactive"
+
+
+class TestInProcessTransport:
+    def test_satisfies_protocol_and_delegates(
+        self, model_path, serve_data, direct_labels
+    ):
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            transport = InProcessTransport(server).start()
+            assert isinstance(transport, Transport)
+            assert isinstance(HttpTransport(server), Transport)
+            assert transport.address.startswith("inproc://")
+            got = transport.predict(serve_data.test_images[:4])
+            transport.close()
+        assert np.array_equal(got, direct_labels[:4])
+
+
+class TestGracefulShutdown:
+    def test_close_default_honors_config_drain_timeout(
+        self, model_path, serve_data, direct_labels
+    ):
+        """close() with no argument uses ServeConfig.drain_timeout_s —
+        submitted work completes inside that window."""
+        config = ServeConfig(
+            workers=1, max_batch=16, max_wait_ms=0.0, drain_timeout_s=10.0
+        )
+        server = UHDServer(model_path, config).start()
+        handle = server.submit(serve_data.test_images[:8])
+        server.close()  # no explicit timeout: config value applies
+        assert np.array_equal(handle.result(timeout=5.0), direct_labels[:8])
+
+    def test_zero_drain_timeout_fails_queued_loudly(
+        self, model_path, serve_data
+    ):
+        from repro.serve import ServeError
+
+        config = ServeConfig(
+            workers=1, max_batch=1, max_wait_ms=0.0, drain_timeout_s=0.0
+        )
+        server = UHDServer(model_path, config).start()
+        handles = [server.submit(serve_data.test_images[i]) for i in range(40)]
+        server.close()
+        outcomes = 0
+        for handle in handles:
+            try:
+                handle.result(timeout=5.0)
+            except ServeError:
+                pass
+            outcomes += 1
+        assert outcomes == len(handles)
+
+    def test_cli_signal_helper_converts_sigterm_to_drain(self):
+        """The CLI's handler turns SIGTERM into a stop event (drain path)
+        instead of the default kill, and restores handlers after."""
+        import os
+        import signal
+
+        from repro.cli import _graceful_shutdown
+
+        before = signal.getsignal(signal.SIGTERM)
+        with _graceful_shutdown() as stop:
+            assert not stop.is_set()
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert stop.wait(5.0)
+        assert signal.getsignal(signal.SIGTERM) is before
