@@ -35,6 +35,12 @@ Two request-path rows measure the transport/scheduler layers:
   window (plus one in-flight batch), not the bulk lane's — the
   scheduler's anti-starvation contract, asserted before writing.
 
+``serve_router_zoo`` exercises the fleet layer: a two-model router
+(two replicas per model, least-loaded dispatch) under mixed traffic
+from concurrent clients, with a **rolling hot reload of both models
+mid-run** — the row is only written after asserting zero failed
+requests and per-model bit-exact labels across the generation swap.
+
 Labels are checked bit-exact against ``UHDClassifier.predict`` before
 anything is timed.  Results merge into ``BENCH_throughput.json``
 alongside the encode/predict rows ``run_bench.py`` records — the two
@@ -309,6 +315,131 @@ def _priority_mixed_scenario(
     }
 
 
+def _router_zoo_scenario(
+    dim: int,
+    backend: str,
+    seed: int,
+    clients_per_model: int = 2,
+    requests_per_client: int = 24,
+    request_batch: int = 4,
+) -> dict:
+    """Two-model router under mixed traffic with a mid-run rolling reload.
+
+    Each model gets two in-process replicas (workers=0 isolates the
+    routing layer from pool IPC) and ``clients_per_model`` threads
+    hammering it with fixed request streams.  Once a third of the
+    traffic has been served, both deployments are hot-reloaded to a new
+    generation *while the clients keep going*.  The row is only written
+    after asserting: zero failed requests, every label bit-exact with
+    its model's direct ``predict`` (before and after the swap), and both
+    deployments on generation 2 at full replica strength.
+    """
+    import threading
+
+    from repro.serve import DeploymentSpec, Router
+
+    rng = np.random.default_rng(seed)
+    model_ids = ("zoo-a", "zoo-b")
+    paths: dict[str, str] = {}
+    streams: dict[str, list[tuple[np.ndarray, np.ndarray]]] = {}
+    try:
+        for offset, name in enumerate(model_ids):
+            fd, path = tempfile.mkstemp(suffix=".npz", prefix=f"uhd-{name}-")
+            os.close(fd)
+            paths[name] = path
+            model = _train_model(path, dim, backend, seed + 1 + offset)
+            queries = [
+                rng.integers(
+                    0, 256, size=(request_batch, model.num_pixels),
+                    dtype=np.uint8,
+                )
+                for _ in range(requests_per_client)
+            ]
+            streams[name] = [(q, model.predict(q)) for q in queries]
+
+        specs = {
+            name: DeploymentSpec(
+                path,
+                replicas=2,
+                serve=ServeConfig(workers=0, backend=backend),
+            )
+            for name, path in paths.items()
+        }
+        failures: list[str] = []
+        served = [0]
+        counter_lock = threading.Lock()
+        total = len(model_ids) * clients_per_model * requests_per_client
+
+        with Router(specs) as router:
+            def client(name: str) -> None:
+                for query, want in streams[name]:
+                    try:
+                        labels = router.predict(name, query, timeout=60.0)
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        failures.append(
+                            f"{name}: {type(exc).__name__}: {exc}"
+                        )
+                        return
+                    if not np.array_equal(labels, want):
+                        failures.append(f"{name}: labels diverged")
+                        return
+                    with counter_lock:
+                        served[0] += 1
+
+            threads = [
+                threading.Thread(target=client, args=(name,))
+                for name in model_ids
+                for _ in range(clients_per_model)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            while served[0] < total // 3 and not failures:
+                time.sleep(0.001)  # reload lands mid-traffic, not after
+            reload_start = time.perf_counter()
+            reports = [router.reload(name) for name in model_ids]
+            reload_s = time.perf_counter() - reload_start
+            for thread in threads:
+                thread.join(timeout=120.0)
+            elapsed = time.perf_counter() - start
+            health = router.healthz()
+    finally:
+        for path in paths.values():
+            os.unlink(path)
+
+    if failures:
+        raise AssertionError(
+            f"router zoo traffic failed during rolling reload: {failures[:3]}"
+        )
+    if served[0] != total:
+        raise AssertionError(
+            f"dropped requests: served {served[0]} of {total}"
+        )
+    for report in reports:
+        if report["to_generation"] != 2:
+            raise AssertionError(f"reload did not advance generation: {report}")
+    if not health["ok"] or health["degraded"]:
+        raise AssertionError(f"fleet unhealthy after reload: {health}")
+    images = total * request_batch
+    return {
+        "name": "serve_router_zoo",
+        "median_s": elapsed,
+        "ops_per_s": images / elapsed,
+        "speedup_vs_reference": None,
+        "speedup_vs_packed": None,
+        "models": len(model_ids),
+        "replicas_per_model": 2,
+        "client_threads": len(model_ids) * clients_per_model,
+        "requests": total,
+        "images": images,
+        "failed_requests": 0,  # asserted above
+        "reloads": len(reports),
+        "reload_s": reload_s,
+        "zero_failed_during_reload": True,  # asserted above
+        "bit_exact_across_generations": True,  # asserted above
+    }
+
+
 def _warmstart_rows(
     model_path: str, num_pixels: int, workers: int, repeats: int
 ) -> list[dict]:
@@ -457,6 +588,7 @@ def main(argv: list[str] | None = None) -> int:
             model_path, model.num_pixels, max(1, args.workers),
             max(2, args.repeats // 2),
         )
+        router_row = _router_zoo_scenario(args.dim, args.backend, args.seed)
     finally:
         if tmp is not None:
             os.unlink(tmp)
@@ -506,6 +638,7 @@ def main(argv: list[str] | None = None) -> int:
     ]
     rows.append(priority_row)
     rows.extend(warmstart_rows)
+    rows.append(router_row)
     print("serving throughput (median round over repeats, bit-exact verified):")
     for row in rows:
         if row["name"] == "serve_priority_mixed":
@@ -516,6 +649,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{row['interactive_max_wait_ms']:g} ms, bulk window "
                 f"{row['bulk_max_wait_ms']:g} ms)  bulk "
                 f"{row['bulk_images_per_s']:.0f} images/s"
+            )
+            continue
+        if row["name"] == "serve_router_zoo":
+            print(
+                f"  {row['name']:<22} {row['requests']} requests over "
+                f"{row['models']} models x {row['replicas_per_model']} "
+                f"replicas  {row['ops_per_s']:8.0f} images/s  reload "
+                f"{row['reload_s'] * 1e3:.0f} ms mid-run, 0 failed, "
+                "bit-exact across generations"
             )
             continue
         if row["name"].startswith("worker_warmstart"):

@@ -330,9 +330,10 @@ def _graceful_shutdown():
 
 
 def _http_round_trips(
-    transport, queries, lane: str | None, deadline_ms: float | None
+    transport, queries, lane: str | None, deadline_ms: float | None,
+    path: str = "/predict",
 ):
-    """POST each query batch to /predict over real HTTP; returns answers."""
+    """POST each query batch to ``path`` over real HTTP; returns answers."""
     import json
     import urllib.request
 
@@ -346,7 +347,7 @@ def _http_round_trips(
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
         request = urllib.request.Request(
-            transport.address + "/predict",
+            transport.address + path,
             data=json.dumps(payload).encode("utf-8"),
             headers={"Content-Type": "application/json"},
         )
@@ -523,6 +524,222 @@ def _serve_round_trips(args, server, transport, rng, stop) -> list[str]:
     return lines
 
 
+@contextlib.contextmanager
+def _reload_on_sighup():
+    """Install a SIGHUP handler that requests a rolling hot reload.
+
+    Yields a ``threading.Event`` the daemon loop polls: set means "an
+    operator sent SIGHUP, reload every deployment".  Platforms without
+    SIGHUP (Windows) and non-main threads get the event unarmed — the
+    daemon still runs, reload is just unavailable by signal there.
+    """
+    trigger = threading.Event()
+
+    def _handler(signum, frame):  # pragma: no cover - exercised via CI
+        trigger.set()
+
+    sighup = getattr(signal, "SIGHUP", None)
+    previous = None
+    armed = False
+    if sighup is not None:
+        try:
+            previous = signal.signal(sighup, _handler)
+            armed = True
+        except ValueError:  # not the main thread
+            pass
+    try:
+        yield trigger
+    finally:
+        if armed:
+            signal.signal(sighup, previous)
+
+
+def _parse_model_spec(spec: str) -> tuple[str, str]:
+    """``NAME=PATH`` -> (model id, model path) for ``route --model``."""
+    name, sep, path = spec.partition("=")
+    if not sep or not name or not path:
+        raise argparse.ArgumentTypeError(
+            f"model spec {spec!r} must be NAME=PATH (e.g. mnist=mnist.npz)"
+        )
+    if "/" in name:
+        raise argparse.ArgumentTypeError(
+            f"model id {name!r} must be slash-free (it becomes a URL segment)"
+        )
+    return name, path
+
+
+def _cmd_route(args: argparse.Namespace) -> str:
+    """Start a multi-model router, mix traffic across models, shut down.
+
+    Each ``--model NAME=PATH`` becomes a deployment of ``--replicas``
+    servers with least-loaded dispatch.  The self-test rounds cycle
+    through every model (optionally performing a rolling hot reload
+    halfway with ``--reload``) and, with ``--verify`` (default), compare
+    every answer bit-for-bit against a directly loaded copy of that
+    model.  Daemon mode (``--serve-forever``) reloads every deployment
+    on SIGHUP and drains all deployments **concurrently** on
+    SIGTERM/SIGINT — total shutdown is bounded by the slowest
+    deployment's drain window, not the sum.
+    """
+    import numpy as np
+
+    from .serve import DeploymentSpec, HttpTransport, Router, ServeConfig
+
+    if args.serve_forever and args.http_port is None:
+        raise SystemExit(
+            "repro-uhd route: --serve-forever requires --http-port "
+            "(there is no transport to keep serving without one)"
+        )
+    config = ServeConfig(
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        backend=args.backend,
+        start_method=args.start_method,
+        table_store=args.table_store,
+        drain_timeout_s=args.drain_timeout_s,
+    )
+    specs: dict[str, DeploymentSpec] = {}
+    for name, path in args.model:
+        if name in specs:
+            raise SystemExit(f"repro-uhd route: duplicate model id {name!r}")
+        specs[name] = DeploymentSpec(
+            path,
+            replicas=args.replicas,
+            min_ready=args.min_ready,
+            serve=config,
+        )
+    rng = np.random.default_rng(args.seed)
+    lines: list[str] = []
+    start = time.perf_counter()
+    with _graceful_shutdown() as stop, _reload_on_sighup() as hup:
+        with Router(specs) as router:
+            startup_s = time.perf_counter() - start
+            mode = "in-process fallback" if config.workers == 0 else (
+                f"{config.workers} worker process(es) per replica"
+            )
+            lines.append(
+                f"route: {len(specs)} model(s) x {args.replicas} replica(s) "
+                f"up in {startup_s:.2f}s ({mode})"
+            )
+            for row in router.models():
+                lines.append(
+                    f"  model {row['model']}: generation {row['generation']}, "
+                    f"{row['ready']}/{row['replicas']} replica(s) ready "
+                    f"({row['path']})"
+                )
+            transport = None
+            if args.http_port is not None:
+                transport = HttpTransport(
+                    router, host=args.http_host, port=args.http_port
+                ).start()
+                lines.append(
+                    f"  http: listening on {transport.address} "
+                    "(POST /models/<id>/predict, GET /models, GET /healthz)"
+                )
+            try:
+                if transport is not None and args.serve_forever:
+                    print("\n".join(lines), flush=True)
+                    lines = []
+                    while not stop.wait(0.2):
+                        if hup.is_set():
+                            hup.clear()
+                            for model_id in list(router.deployments):
+                                report = router.reload(model_id)
+                                print(
+                                    f"  reload: {model_id} generation "
+                                    f"{report['from_generation']} -> "
+                                    f"{report['to_generation']} "
+                                    f"({report['replaced']} replica(s) "
+                                    f"swapped in {report['duration_s']:.2f}s)",
+                                    flush=True,
+                                )
+                    lines.append("  signal received: draining deployments")
+                else:
+                    lines.extend(_route_round_trips(args, router, transport, rng, stop))
+                health = router.healthz()
+                lines.append(
+                    f"  healthz: {health['status']} "
+                    f"({health['ready_replicas']} replica(s) ready across "
+                    f"{health['deployments']} deployment(s))"
+                )
+                for dep in router.stats()["models"]:
+                    lines.append(
+                        f"  stats {dep['model']}: generation "
+                        f"{dep['generation']}, {dep['requests']} request(s), "
+                        f"{dep['images']} image(s), {dep['retired_replicas']} "
+                        "retired replica(s)"
+                    )
+            finally:
+                if transport is not None:
+                    transport.close()
+    lines.append("  shutdown clean")
+    return "\n".join(lines)
+
+
+def _route_round_trips(args, router, transport, rng, stop) -> list[str]:
+    """Mixed-model self-test rounds, optionally reloading mid-run."""
+    import numpy as np
+
+    lines: list[str] = []
+    model_ids = list(router.deployments)
+    direct = {}
+    if args.verify:
+        from .api import load_model
+
+        direct = {
+            model_id: load_model(router.deployment(model_id).model_path)
+            for model_id in model_ids
+        }
+    reload_round = args.rounds // 2 if args.reload else None
+    total = 0
+    t0 = time.perf_counter()
+    for round_idx in range(args.rounds):
+        if stop.is_set():
+            break
+        if reload_round is not None and round_idx == reload_round:
+            for model_id in model_ids:
+                report = router.reload(model_id)
+                lines.append(
+                    f"  reload: {model_id} generation "
+                    f"{report['from_generation']} -> "
+                    f"{report['to_generation']} ({report['replaced']} "
+                    "replica(s) swapped)"
+                )
+        for model_id in model_ids:
+            pixels = router.deployment(model_id).num_pixels
+            batch = rng.integers(
+                0, 256, size=(args.batch, pixels), dtype=np.uint8
+            )
+            if transport is not None:
+                answer = _http_round_trips(
+                    transport, [batch], lane=None, deadline_ms=None,
+                    path=f"/models/{model_id}/predict",
+                )[0]
+            else:
+                answer = router.predict(model_id, batch, timeout=60.0)
+            total += args.batch
+            if args.verify and not np.array_equal(
+                direct[model_id].predict(batch), answer
+            ):
+                raise AssertionError(
+                    f"routed labels for {model_id!r} differ from "
+                    "UHDClassifier.predict"
+                )
+    elapsed = time.perf_counter() - t0
+    via = " via HTTP" if transport is not None else ""
+    lines.append(
+        f"  served {total} image(s) across {len(model_ids)} model(s) in "
+        f"{elapsed * 1e3:.2f} ms{via}"
+    )
+    if args.verify:
+        lines.append(
+            "  verify OK: all labels bit-exact with UHDClassifier.predict "
+            "per model"
+        )
+    return lines
+
+
 def _model_io_args(parser: argparse.ArgumentParser, needs_model: bool) -> None:
     if needs_model:
         parser.add_argument("--model", required=True, help="saved model (.npz) path")
@@ -639,11 +856,91 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
     _backend_arg(parser, default=None)
 
 
+def _configure_route(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model", action="append", required=True, type=_parse_model_spec,
+        metavar="NAME=PATH",
+        help="deployment spec: model id and saved .npz path (repeatable; "
+        "the id becomes the /models/<id>/... URL segment)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=1,
+        help="servers per model deployment (least-loaded dispatch)",
+    )
+    parser.add_argument(
+        "--min-ready", type=int, default=1,
+        help="healthz floor: a deployment stays healthy while at least "
+        "this many replicas are ready (rolling reload never drops below)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per replica (0 = in-process fallback)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64,
+        help="micro-batching bound: images per dispatched batch",
+    )
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="micro-batching window before a partial batch flushes",
+    )
+    parser.add_argument(
+        "--start-method", default="auto",
+        choices=("auto", "fork", "spawn", "forkserver"),
+        help="multiprocessing start method (auto = fork where available)",
+    )
+    parser.add_argument(
+        "--table-store", default="heap",
+        choices=("heap", "mmap", "shm"),
+        help="where each replica publishes its warm gather tables for "
+        "workers to attach (see `serve --table-store`)",
+    )
+    parser.add_argument(
+        "--drain-timeout-s", type=float, default=10.0,
+        help="per-deployment drain window on shutdown; deployments drain "
+        "concurrently, so total shutdown is bounded by the max, not the sum",
+    )
+    parser.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="put the HTTP transport in front (POST /models/<id>/predict, "
+        "GET /models, GET /models/<id>/stats, GET /healthz); 0 binds an "
+        "ephemeral port; the self-test round-trips then go over real HTTP",
+    )
+    parser.add_argument(
+        "--http-host", default="127.0.0.1",
+        help="interface the HTTP transport binds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--serve-forever", action="store_true",
+        help="with --http-port: serve until SIGTERM/SIGINT (concurrent "
+        "drain), performing a rolling hot reload of every model on SIGHUP",
+    )
+    parser.add_argument(
+        "--reload", action="store_true",
+        help="self-test mode: rolling-hot-reload every model halfway "
+        "through the rounds (daemon mode reloads on SIGHUP instead)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="round-trip rounds; each round sends one batch per model",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=16, help="images per served request"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="query seed")
+    parser.add_argument(
+        "--no-verify", dest="verify", action="store_false",
+        help="skip the bit-exactness check against UHDClassifier.predict",
+    )
+    _backend_arg(parser, default=None)
+
+
 _MODEL_COMMANDS = {
     "save": (_cmd_save, _configure_save),
     "load": (_cmd_load, _configure_load),
     "serve-check": (_cmd_serve_check, _configure_serve_check),
     "serve": (_cmd_serve, _configure_serve),
+    "route": (_cmd_route, _configure_route),
 }
 
 _COMMANDS = {

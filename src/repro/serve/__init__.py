@@ -28,6 +28,15 @@ the operator guide and ``docs/ARCHITECTURE.md`` for the full picture):
   rebuild, fans batches out to the pool, and restarts crashed workers.
   ``ServeConfig(workers=0)`` is the synchronous in-process fallback.
 
+Above the single server sits the **fleet layer**
+(:mod:`repro.serve.router` + :mod:`repro.serve.replica`): a
+:class:`Router` owns named :class:`ModelDeployment`\\ s, each a replica
+group of N servers with least-loaded dispatch, aggregated stats, and
+rolling hot reload (``router.reload(model_id, path)`` swaps in a fresh
+model generation add-before-remove, never dropping below ``min_ready``
+ready replicas and never dropping a request).  :class:`HttpTransport`
+accepts a ``Router`` and grows ``/models/<id>/...`` endpoints.
+
 Quickstart::
 
     from repro.serve import HttpTransport, LaneConfig, ServeConfig, UHDServer
@@ -51,6 +60,8 @@ routes, but never transforms data.
 from .batcher import MicroBatcher
 from .cache import CacheStats, EncoderCache, encoder_cache
 from .probe import ProbeResult, readiness_probe
+from .replica import Replica, RoutedHandle
+from .router import DeploymentSpec, ModelDeployment, Router
 from .scheduler import LaneConfig, LaneStats, ScheduledBatch, Scheduler
 from .server import UHDServer
 from .transport import HttpTransport, InProcessTransport, Transport
@@ -66,14 +77,19 @@ from .types import (
 __all__ = [
     "CacheStats",
     "DeadlineExpiredError",
+    "DeploymentSpec",
     "EncoderCache",
     "HttpTransport",
     "InProcessTransport",
     "LaneConfig",
     "LaneStats",
     "MicroBatcher",
+    "ModelDeployment",
     "PredictionHandle",
     "ProbeResult",
+    "Replica",
+    "RoutedHandle",
+    "Router",
     "ScheduledBatch",
     "Scheduler",
     "ServeConfig",

@@ -21,6 +21,7 @@ boundary explicit:
 HTTP endpoints
 --------------
 ``POST /predict``
+    (also ``POST /models/<id>/predict`` when fronting a ``Router``)
     JSON body ``{"images": [[...], ...], "lane": "interactive",
     "deadline_ms": 50}`` (``lane``/``deadline_ms`` optional, also
     accepted as query parameters), or raw ``application/octet-stream``
@@ -42,15 +43,40 @@ HTTP endpoints
     ``ServerStats.as_dict()`` — request/batch counters, per-lane
     depth/served/expired, encoder-cache table bytes and publications.
 
+Router mode
+-----------
+Constructed over a :class:`~repro.serve.router.Router` instead of a
+single server, the transport grows path-based multi-model routing:
+
+``GET /models``
+    200 with ``{"models": [...]}`` — one listing row per deployment
+    (id, path, generation, ready/target replicas, status).
+``POST /models/<id>/predict``
+    Same request/response contract as ``/predict``, dispatched to the
+    named deployment's least-loaded ready replica; the response gains a
+    ``"model"`` field.  404 for unknown model ids.  Bare ``/predict``
+    keeps working and routes to the router's *default* (first declared)
+    model, so single-model clients need no changes.
+``GET /models/<id>/stats`` / ``GET /models/<id>/healthz``
+    Per-deployment aggregated stats (includes retired generations) and
+    readiness (200 when at/above ``min_ready``, else 503).
+``GET /healthz``
+    Router-aware: 200 while **every** deployment is at or above its
+    ``min_ready`` floor — a deployment mid-reload stays healthy; the
+    body carries ``status`` (``ok`` / ``degraded`` / ``unavailable``)
+    and an explicit ``degraded`` flag when a group is below target but
+    above minimum.  ``GET /stats`` returns all deployments.
+
 Lifecycle: the transport *borrows* the server — ``close()`` stops
 accepting connections and joins in-flight handler threads, but never
-closes the ``UHDServer`` (its owner does, usually a ``with`` block
-around both).
+closes the ``UHDServer`` (or ``Router``; its owner does, usually a
+``with`` block around both).
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
 
@@ -123,13 +149,15 @@ class InProcessTransport:
 
 
 class HttpTransport:
-    """Threaded HTTP front-end over a running :class:`UHDServer`.
+    """Threaded HTTP front-end over a :class:`UHDServer` or ``Router``.
 
     ``port=0`` (the default) binds an ephemeral port — read it back
     from :attr:`port` / :attr:`address` after :meth:`start`.  Handler
     threads block on ``submit(...).result(request_timeout_s)``, so
     concurrent connections coalesce in the scheduler like any other
-    concurrent submitters.
+    concurrent submitters.  Passing a
+    :class:`~repro.serve.router.Router` as ``server`` enables the
+    multi-model endpoints (see the module docstring's *Router mode*).
     """
 
     def __init__(
@@ -213,13 +241,22 @@ class HttpTransport:
         self.close()
 
 
-def _make_handler(server: "UHDServer", request_timeout_s: float):
+#: ``/models/<id>/predict|stats|healthz`` (router mode); ids are slash-free
+_MODEL_PATH_RE = re.compile(r"^/models/([^/]+)/(predict|stats|healthz)$")
+
+
+def _make_handler(server: Any, request_timeout_s: float):
     """Build the request-handler class bound to ``server``.
 
-    A fresh class per transport keeps two transports over different
-    servers in one process from sharing state through class attributes.
+    ``server`` is either a :class:`UHDServer` or a ``Router`` (duck-typed
+    on ``deployment``/``models``); router mode adds the ``/models/...``
+    endpoints.  A fresh class per transport keeps two transports over
+    different servers in one process from sharing state through class
+    attributes.
     """
     from http.server import BaseHTTPRequestHandler
+
+    is_router = hasattr(server, "deployment") and hasattr(server, "models")
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -255,23 +292,71 @@ def _make_handler(server: "UHDServer", request_timeout_s: float):
                 health = server.healthz()
                 self._send_json(200 if health["ok"] else 503, health)
             elif path == "/stats":
-                self._send_json(200, server.stats().as_dict())
+                stats = server.stats()
+                if hasattr(stats, "as_dict"):
+                    stats = stats.as_dict()
+                self._send_json(200, stats)
+            elif is_router and path == "/models":
+                self._send_json(200, {"models": server.models()})
+            elif is_router and (match := _MODEL_PATH_RE.match(path)):
+                model_id, verb = match.group(1), match.group(2)
+                if verb == "predict":
+                    self._send_error_json(405, "predict requires POST")
+                    return
+                try:
+                    deployment = server.deployment(model_id)
+                except ValueError as exc:
+                    self._send_error_json(404, str(exc))
+                    return
+                if verb == "stats":
+                    self._send_json(200, deployment.stats())
+                else:  # healthz
+                    health = deployment.healthz()
+                    self._send_json(200 if health["ok"] else 503, health)
             else:
                 self._send_error_json(404, f"unknown path {path!r}")
 
         # -------------------------------------------------- POST
+        def _resolve_predict_target(self, path: str):
+            """Resolve ``path`` to a predict target.
+
+            Returns ``((submit, num_pixels, model_id), None, None)`` on
+            success, or ``(None, status, message)`` for an error reply;
+            ``model_id`` is ``None`` in single-server mode.
+            """
+            if not is_router:
+                if path != "/predict":
+                    return None, 404, f"unknown path {path!r}"
+                return (server.submit, server.num_pixels, None), None, None
+            if path == "/predict":
+                model_id = server.default_model
+            else:
+                match = _MODEL_PATH_RE.match(path)
+                if match is None or match.group(2) != "predict":
+                    return None, 404, f"unknown path {path!r}"
+                model_id = match.group(1)
+            try:
+                deployment = server.deployment(model_id)
+            except ValueError as exc:
+                return None, 404, str(exc)
+            return (deployment.submit, deployment.num_pixels, model_id), None, None
+
         def do_POST(self) -> None:
             path = self.path.split("?", 1)[0]
-            if path != "/predict":
-                self._send_error_json(404, f"unknown path {path!r}")
+            target, status, message = self._resolve_predict_target(path)
+            if target is None:
+                self._send_error_json(status, message)
                 return
+            submit, num_pixels, model_id = target
             try:
-                images, lane, deadline_ms = self._parse_predict_request()
+                images, lane, deadline_ms = self._parse_predict_request(
+                    num_pixels
+                )
             except ValueError as exc:
                 self._send_error_json(400, str(exc))
                 return
             try:
-                labels = server.submit(
+                labels = submit(
                     images,
                     timeout=request_timeout_s,
                     lane=lane,
@@ -291,14 +376,14 @@ def _make_handler(server: "UHDServer", request_timeout_s: float):
             except ServeError as exc:
                 self._send_error_json(503, str(exc))
                 return
-            self._send_json(
-                200,
-                {
-                    "labels": [int(label) for label in labels],
-                    "rows": int(labels.shape[0]),
-                    "lane": lane,
-                },
-            )
+            payload = {
+                "labels": [int(label) for label in labels],
+                "rows": int(labels.shape[0]),
+                "lane": lane,
+            }
+            if model_id is not None:
+                payload["model"] = model_id
+            self._send_json(200, payload)
 
         # -------------------------------------------------- parsing
         def _query_params(self) -> dict[str, str]:
@@ -308,7 +393,7 @@ def _make_handler(server: "UHDServer", request_timeout_s: float):
                 return {}
             return dict(parse_qsl(self.path.split("?", 1)[1]))
 
-        def _parse_predict_request(self):
+        def _parse_predict_request(self, num_pixels: int | None):
             """(images, lane, deadline_ms) from the request, or ValueError."""
             # consume the body FIRST: an early validation error must not
             # leave unread bytes on a keep-alive socket
@@ -329,16 +414,15 @@ def _make_handler(server: "UHDServer", request_timeout_s: float):
                 raise ValueError("empty request body")
             content_type = (self.headers.get("Content-Type") or "").split(";")[0]
             if content_type == "application/octet-stream":
-                images = self._decode_raw(body)
+                images = self._decode_raw(body, num_pixels)
             else:
                 images, lane, deadline_ms = self._decode_json(
                     body, lane, deadline_ms
                 )
             return images, lane, deadline_ms
 
-        def _decode_raw(self, body: bytes) -> np.ndarray:
+        def _decode_raw(self, body: bytes, num_pixels: int | None) -> np.ndarray:
             """Raw uint8 image bytes -> (rows, num_pixels)."""
-            num_pixels = server.num_pixels
             if num_pixels is None or num_pixels <= 0:
                 raise ValueError("server has no pixel geometry yet")
             rows_header = self.headers.get("X-UHD-Rows")

@@ -17,7 +17,7 @@ import pytest
 
 from repro.core.config import UHDConfig
 from repro.core.model import UHDClassifier
-from repro.datasets import synthetic_mnist
+from repro.datasets import load_dataset, synthetic_mnist
 
 FORCED_SPAWN = bool(os.environ.get("REPRO_FORCE_SPAWN"))
 
@@ -89,3 +89,46 @@ def model_path(served_model, tmp_path_factory):
 def direct_labels(served_model, serve_data) -> np.ndarray:
     """Ground truth every served prediction must equal bit-for-bit."""
     return served_model.predict(serve_data.test_images)
+
+
+#: the registry datasets the router model zoo spans (contract 5 extended:
+#: one harness, many datasets — routing never changes labels for any)
+ZOO_DATASETS = ("mnist", "fashion")
+
+
+@pytest.fixture(scope="session")
+def zoo_data():
+    """Two small registry datasets for the multi-model router tests."""
+    return {
+        name: load_dataset(name, n_train=150, n_test=40, seed=13 + i).grayscale()
+        for i, name in enumerate(ZOO_DATASETS)
+    }
+
+
+@pytest.fixture(scope="session")
+def zoo_model_paths(zoo_data, tmp_path_factory):
+    """Tiny fitted models for each zoo dataset, persisted once per session."""
+    root = tmp_path_factory.mktemp("zoo")
+    paths = {}
+    for name, data in zoo_data.items():
+        model = UHDClassifier(
+            data.num_pixels,
+            data.num_classes,
+            UHDConfig(dim=256, backend="packed", binarize=True),
+        )
+        model.fit(data.train_images, data.train_labels)
+        path = root / f"{name}.npz"
+        model.save(path)
+        paths[name] = str(path)
+    return paths
+
+
+@pytest.fixture(scope="session")
+def zoo_direct_labels(zoo_data, zoo_model_paths) -> dict[str, np.ndarray]:
+    """Per-model ground truth every routed prediction must match bit-for-bit."""
+    from repro.api import load_model
+
+    return {
+        name: load_model(zoo_model_paths[name]).predict(zoo_data[name].test_images)
+        for name in zoo_data
+    }

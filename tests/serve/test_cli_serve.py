@@ -140,3 +140,50 @@ class TestServeHttpCli:
                 "serve", "--model", model_path, "--workers", "0",
                 "--rounds", "1", "--lane", "a", "--lane", "a",
             ])
+
+
+class TestRouteCli:
+    def test_route_two_models_in_process(self, zoo_model_paths, capsys):
+        argv = ["route", "--replicas", "2", "--workers", "0",
+                "--rounds", "2", "--batch", "4"]
+        for name, path in zoo_model_paths.items():
+            argv += ["--model", f"{name}={path}"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        for name in zoo_model_paths:
+            assert f"model {name}: generation 1, 2/2 replica(s) ready" in out
+        assert "verify OK" in out
+        assert "shutdown clean" in out
+
+    def test_route_http_with_reload(self, zoo_model_paths, capsys):
+        argv = ["route", "--replicas", "2", "--workers", "0",
+                "--rounds", "2", "--batch", "4", "--http-port", "0",
+                "--reload"]
+        for name, path in zoo_model_paths.items():
+            argv += ["--model", f"{name}={path}"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "via HTTP" in out
+        for name in zoo_model_paths:
+            assert f"reload: {name} generation 1 -> 2" in out
+            assert f"stats {name}: generation 2" in out
+        assert "verify OK" in out
+        assert "shutdown clean" in out
+
+    def test_route_duplicate_model_id_fails_fast(self, zoo_model_paths):
+        path = next(iter(zoo_model_paths.values()))
+        with pytest.raises(SystemExit, match="duplicate model id"):
+            main(["route", "--model", f"m={path}", "--model", f"m={path}",
+                  "--workers", "0"])
+
+    def test_route_bad_model_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["route", "--model", "no-equals-sign", "--workers", "0"])
+
+    def test_route_serve_forever_without_http_port_fails_fast(
+        self, zoo_model_paths
+    ):
+        name, path = next(iter(zoo_model_paths.items()))
+        with pytest.raises(SystemExit, match="requires --http-port"):
+            main(["route", "--model", f"{name}={path}", "--workers", "0",
+                  "--serve-forever"])
