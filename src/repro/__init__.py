@@ -53,7 +53,7 @@ from .datasets import ImageDataset, load_dataset
 from .fastpath import PackedLevelEncoder, ThreadedLevelEncoder
 from .hdc import BaselineConfig, BaselineHDC, CentroidClassifier
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Backend",

@@ -30,7 +30,8 @@ before accepting traffic), answers ``--rounds`` predict round-trips
 bit-exactly, prints batching stats, and shuts down cleanly —
 SIGTERM/SIGINT drain in-flight lanes (``--drain-timeout-s``) before the
 workers exit.  ``--http-port`` puts the stdlib threaded HTTP transport
-in front (``/predict``, ``/healthz``, ``/stats``): the round-trips then
+in front (``/predict``, ``/healthz``, ``/stats``, Prometheus
+``/metrics``): the round-trips then
 go over real HTTP (still verified bit-exact), and ``--serve-forever``
 keeps serving until a signal arrives.  ``--lane NAME[:MAX_BATCH[
 :MAX_WAIT_MS[:WEIGHT]]]`` (repeatable) declares priority lanes; the
@@ -424,7 +425,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                 ).start()
                 lines.append(
                     f"  http: listening on {transport.address} "
-                    "(POST /predict, GET /healthz, GET /stats)"
+                    "(POST /predict, GET /healthz, GET /stats, GET /metrics)"
                 )
             try:
                 if transport is not None and args.serve_forever:
@@ -635,7 +636,8 @@ def _cmd_route(args: argparse.Namespace) -> str:
                 ).start()
                 lines.append(
                     f"  http: listening on {transport.address} "
-                    "(POST /models/<id>/predict, GET /models, GET /healthz)"
+                    "(POST /models/<id>/predict, GET /models, GET /healthz, "
+                    "GET /metrics)"
                 )
             try:
                 if transport is not None and args.serve_forever:
@@ -655,6 +657,19 @@ def _cmd_route(args: argparse.Namespace) -> str:
                                     flush=True,
                                 )
                     lines.append("  signal received: draining deployments")
+                    # one-line per-lane latency summary at drain time —
+                    # the last chance an operator has to see the run's
+                    # tail before the process exits (merged across every
+                    # replica and retired generation)
+                    for model_id, deployment in router.deployments.items():
+                        for lane, snap in deployment.lane_snapshots().items():
+                            lines.append(
+                                f"  drain {model_id}/{lane}: "
+                                f"{snap.count} served, "
+                                f"p50 {snap.p50_ms:.2f}ms, "
+                                f"p95 {snap.p95_ms:.2f}ms, "
+                                f"{snap.excluded} expired"
+                            )
                 else:
                     lines.extend(_route_round_trips(args, router, transport, rng, stop))
                 health = router.healthz()
@@ -829,8 +844,8 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--http-port", type=int, default=None, metavar="PORT",
         help="put the stdlib threaded HTTP transport in front (POST "
-        "/predict, GET /healthz, GET /stats); 0 binds an ephemeral port; "
-        "the self-test round-trips then go over real HTTP",
+        "/predict, GET /healthz, GET /stats, GET /metrics); 0 binds an "
+        "ephemeral port; the self-test round-trips then go over real HTTP",
     )
     parser.add_argument(
         "--http-host", default="127.0.0.1",

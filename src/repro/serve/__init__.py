@@ -14,7 +14,9 @@ the operator guide and ``docs/ARCHITECTURE.md`` for the full picture):
 * **Transport** (:mod:`repro.serve.transport`) — how requests arrive:
   :class:`InProcessTransport` (plain Python calls) or
   :class:`HttpTransport` (stdlib-only threaded HTTP: ``POST /predict``,
-  ``GET /healthz`` backed by the readiness probe, ``GET /stats``).
+  ``GET /healthz`` backed by the readiness probe, ``GET /stats``, and a
+  Prometheus ``GET /metrics`` rendered by :mod:`repro.serve.metrics`
+  from the per-lane latency histograms in :mod:`repro.serve.histogram`).
 * **Scheduler** (:mod:`repro.serve.scheduler`) — queueing/coalescing
   policy: named priority lanes (:class:`LaneConfig`) with per-lane
   ``max_batch``/``max_wait_ms``, weighted anti-starvation draining, and
@@ -59,6 +61,8 @@ routes, but never transforms data.
 
 from .batcher import MicroBatcher
 from .cache import CacheStats, EncoderCache, encoder_cache
+from .histogram import HistogramSnapshot, LatencyHistogram
+from .metrics import parse_exposition, render_metrics
 from .probe import ProbeResult, readiness_probe
 from .replica import Replica, RoutedHandle
 from .router import DeploymentSpec, ModelDeployment, Router
@@ -79,10 +83,12 @@ __all__ = [
     "DeadlineExpiredError",
     "DeploymentSpec",
     "EncoderCache",
+    "HistogramSnapshot",
     "HttpTransport",
     "InProcessTransport",
     "LaneConfig",
     "LaneStats",
+    "LatencyHistogram",
     "MicroBatcher",
     "ModelDeployment",
     "PredictionHandle",
@@ -99,5 +105,7 @@ __all__ = [
     "UHDServer",
     "WorkerCrashError",
     "encoder_cache",
+    "parse_exposition",
     "readiness_probe",
+    "render_metrics",
 ]

@@ -88,9 +88,15 @@ class Replica:
         """Close the underlying server (drains its queues up to the window)."""
         self.server.close(drain_timeout)
 
-    def summary(self) -> dict:
-        """Per-replica stats row for deployment-level aggregation."""
-        stats = self.server.stats()
+    def summary(self, stats: Any = None) -> dict:
+        """Per-replica stats row for deployment-level aggregation.
+
+        ``stats`` lets a caller that already fetched this replica's
+        :meth:`UHDServer.stats` (the deployment does, to merge lane
+        histograms in the same pass) avoid a second snapshot.
+        """
+        if stats is None:
+            stats = self.server.stats()
         return {
             "name": self.name,
             "generation": self.generation,

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
+from .histogram import HistogramSnapshot
 from .replica import Replica, RoutedHandle
 from .types import ServeConfig, ServeError
 
@@ -103,6 +104,12 @@ class ModelDeployment:
             "restarts": 0,
             "expired": 0,
         }
+        #: per-lane accumulation carried over from retired generations:
+        #: lane name -> {"served", "served_rows", "expired",
+        #: "latency": HistogramSnapshot} — merged (fixed shared buckets,
+        #: element-wise addition, no bucket loss) so a hot reload never
+        #: resets a deployment's latency distributions
+        self._retired_lanes: dict[str, dict] = {}
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "ModelDeployment":
@@ -420,6 +427,22 @@ class ModelDeployment:
             self._retired_totals["batches"] += stats.batches
             self._retired_totals["restarts"] += stats.restarts
             self._retired_totals["expired"] += stats.expired
+            for lane in stats.lanes:
+                acc = self._retired_lanes.setdefault(
+                    lane.name,
+                    {
+                        "served": 0,
+                        "served_rows": 0,
+                        "expired": 0,
+                        "latency": HistogramSnapshot.empty(),
+                    },
+                )
+                acc["served"] += lane.served
+                acc["served_rows"] += lane.served_rows
+                acc["expired"] += lane.expired
+                acc["latency"] = HistogramSnapshot.merge(
+                    (acc["latency"], lane.latency)
+                )
             self._retired_generations += 1
             replica.state = "retired"
             if replica in self._replicas:
@@ -462,17 +485,63 @@ class ModelDeployment:
             }
 
     def stats(self) -> dict:
-        """Aggregated counters (live replicas + retired generations)."""
+        """Aggregated counters (live replicas + retired generations).
+
+        ``lanes`` carries one row per lane name with the latency
+        histogram **merged across every live replica and every retired
+        generation** — fixed shared buckets make the merge an
+        element-wise sum, so the merged count always equals the sum of
+        the per-generation counts (no bucket loss) and quantiles stay
+        consistent across hot reloads.
+        """
         with self._cv:
             replicas = list(self._replicas)
             totals = dict(self._retired_totals)
             retired_generations = self._retired_generations
             generation = self.generation
             path = self.model_path
-        rows = [replica.summary() for replica in replicas]
+            lane_acc: dict[str, dict] = {
+                name: {
+                    "served": acc["served"],
+                    "served_rows": acc["served_rows"],
+                    "expired": acc["expired"],
+                    "latency": acc["latency"],
+                }
+                for name, acc in self._retired_lanes.items()
+            }
+        rows = []
+        for replica in replicas:
+            server_stats = replica.server.stats()
+            rows.append(replica.summary(server_stats))
+            for lane in server_stats.lanes:
+                acc = lane_acc.setdefault(
+                    lane.name,
+                    {
+                        "served": 0,
+                        "served_rows": 0,
+                        "expired": 0,
+                        "latency": HistogramSnapshot.empty(),
+                    },
+                )
+                acc["served"] += lane.served
+                acc["served_rows"] += lane.served_rows
+                acc["expired"] += lane.expired
+                acc["latency"] = HistogramSnapshot.merge(
+                    (acc["latency"], lane.latency)
+                )
         for row in rows:
             for key in ("requests", "images", "batches", "restarts", "expired"):
                 totals[key] += row[key]
+        lanes = [
+            {
+                "name": name,
+                "served": acc["served"],
+                "served_rows": acc["served_rows"],
+                "expired": acc["expired"],
+                "latency": acc["latency"].as_dict(),
+            }
+            for name, acc in lane_acc.items()
+        ]
         return {
             "model": self.model_id,
             "path": path,
@@ -481,7 +550,30 @@ class ModelDeployment:
             "ready_replicas": sum(1 for r in rows if r["state"] == "ready"),
             "retired_replicas": retired_generations,
             **totals,
+            "lanes": lanes,
             "replicas": rows,
+        }
+
+    def lane_snapshots(self) -> dict[str, HistogramSnapshot]:
+        """Merged per-lane latency snapshots (live + retired), un-serialized.
+
+        The ``/metrics`` renderer and the CLI drain summary want the
+        actual :class:`~repro.serve.histogram.HistogramSnapshot` objects
+        (for bucket lines and quantile math), not the JSON view
+        :meth:`stats` emits.
+        """
+        with self._cv:
+            replicas = list(self._replicas)
+            merged: dict[str, list[HistogramSnapshot]] = {
+                name: [acc["latency"]]
+                for name, acc in self._retired_lanes.items()
+            }
+        for replica in replicas:
+            for lane in replica.server.stats().lanes:
+                merged.setdefault(lane.name, []).append(lane.latency)
+        return {
+            name: HistogramSnapshot.merge(snaps)
+            for name, snaps in merged.items()
         }
 
     def listing(self) -> dict:

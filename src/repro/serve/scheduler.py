@@ -42,8 +42,10 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable, Generic, Protocol, Sequence, TypeVar
+
+from .histogram import HistogramSnapshot, LatencyHistogram
 
 __all__ = [
     "Batchable",
@@ -116,7 +118,16 @@ class LaneConfig:
 
 @dataclass(frozen=True)
 class LaneStats:
-    """Point-in-time counters for one lane (see :meth:`Scheduler.stats`)."""
+    """Point-in-time counters for one lane (see :meth:`Scheduler.stats`).
+
+    ``latency`` is the lane's scheduling-latency distribution — the
+    enqueue-to-dispatch wait of every item the lane has served
+    (coalescing window included; in the queue-less in-process server
+    mode it is the request's synchronous service time instead).
+    Expired items never enter it: they are counted in ``expired`` and
+    mirrored in ``latency.excluded``, so quantiles are computed over
+    served traffic only.
+    """
 
     name: str
     depth: int  #: items currently queued
@@ -126,6 +137,8 @@ class LaneStats:
     served_rows: int
     batches: int  #: batches dispatched from this lane
     expired: int  #: items failed on deadline while queued (never served)
+    #: latency distribution of served items (expired ones excluded)
+    latency: HistogramSnapshot = field(default_factory=HistogramSnapshot.empty)
 
 
 class ScheduledBatch(Generic[ItemT]):
@@ -172,7 +185,7 @@ class _LaneState:
 
     __slots__ = (
         "config", "q", "vtime", "deadlined",
-        "submitted", "served", "served_rows", "batches", "expired",
+        "submitted", "served", "served_rows", "batches", "expired", "hist",
     )
 
     def __init__(self, config: LaneConfig) -> None:
@@ -185,6 +198,7 @@ class _LaneState:
         self.served_rows = 0
         self.batches = 0
         self.expired = 0
+        self.hist = LatencyHistogram()  #: enqueue-to-dispatch wait per item
 
     @property
     def max_wait_s(self) -> float:
@@ -270,6 +284,7 @@ class Scheduler(Generic[ItemT]):
                     served_rows=state.served_rows,
                     batches=state.batches,
                     expired=state.expired,
+                    latency=state.hist.snapshot(),
                 )
                 for state in self._states
             )
@@ -379,7 +394,7 @@ class Scheduler(Generic[ItemT]):
 
         state = picked
         cfg = state.config
-        entry = self._pop_head_locked(state)
+        entry = self._pop_head_locked(state, now)
         batch = [entry.item]
         rows = entry.rows
         served = 1
@@ -408,7 +423,7 @@ class Scheduler(Generic[ItemT]):
             head = state.q[0]
             if rows + head.rows > cfg.max_batch:
                 break  # leave the overflow item for the next batch
-            self._pop_head_locked(state)
+            self._pop_head_locked(state, now)
             batch.append(head.item)
             rows += head.rows
             served += 1
@@ -423,10 +438,13 @@ class Scheduler(Generic[ItemT]):
         self._not_full.notify_all()
         return ScheduledBatch(cfg.name, batch)
 
-    def _pop_head_locked(self, state: _LaneState) -> _Entry:
+    def _pop_head_locked(self, state: _LaneState, now: float) -> _Entry:
         entry = state.q.popleft()
         if entry.deadline is not None:
             state.deadlined -= 1
+        # dispatch latency: how long the item waited from put() to being
+        # drained into a batch (the lane's coalescing window included)
+        state.hist.record(now - entry.enqueued)
         return entry
 
     def _expire_locked(self, now: float, expired: list) -> None:
@@ -439,6 +457,9 @@ class Scheduler(Generic[ItemT]):
                 if entry.deadline is not None and entry.deadline <= now:
                     state.deadlined -= 1
                     state.expired += 1
+                    # never recorded: an expired item has no service
+                    # latency, only a refusal — keep quantiles clean
+                    state.hist.exclude()
                     expired.append((entry.item, state.config.name))
                 else:
                     kept.append(entry)

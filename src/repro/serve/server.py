@@ -515,13 +515,17 @@ class UHDServer:
         handle = PredictionHandle(parts=1, rows=arr.shape[0])
         step = lane_config.max_batch
         chunks = [arr[i:i + step] for i in range(0, arr.shape[0], step)]
+        t0 = time.monotonic()
         with self._encoder_lock:
             labels = [self._model.predict(chunk) for chunk in chunks]
+        elapsed = time.monotonic() - t0
         with self._lock:
             for chunk in chunks:
                 self._stats.record_batch(chunk.shape[0])
+            # with no queue, the synchronous service time IS the latency
             self._stats.record_lane(
-                lane_config.name, 1, arr.shape[0], len(chunks)
+                lane_config.name, 1, arr.shape[0], len(chunks),
+                latency_s=elapsed,
             )
         handle._complete_part(0, np.concatenate(labels))
         return handle

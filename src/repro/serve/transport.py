@@ -41,7 +41,14 @@ HTTP endpoints
 ``GET /stats``
     200 with :meth:`UHDServer.stats` serialized via
     ``ServerStats.as_dict()`` — request/batch counters, per-lane
-    depth/served/expired, encoder-cache table bytes and publications.
+    depth/served/expired plus latency quantiles, encoder-cache table
+    bytes and publications.
+``GET /metrics``
+    200 with the Prometheus text exposition (0.0.4) rendered by
+    :func:`repro.serve.metrics.render_metrics` — the same counters as
+    ``/stats`` plus one classic histogram per lane
+    (``uhd_lane_latency_seconds``); router mode adds ``model`` labels
+    and the deployment generation/replica gauges.
 
 Router mode
 -----------
@@ -296,6 +303,19 @@ def _make_handler(server: Any, request_timeout_s: float):
                 if hasattr(stats, "as_dict"):
                     stats = stats.as_dict()
                 self._send_json(200, stats)
+            elif path == "/metrics":
+                from .metrics import render_metrics
+
+                body = render_metrics(server).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                if self.close_connection:
+                    self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.write(body)
             elif is_router and path == "/models":
                 self._send_json(200, {"models": server.models()})
             elif is_router and (match := _MODEL_PATH_RE.match(path)):

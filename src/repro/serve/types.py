@@ -20,6 +20,7 @@ import threading
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING
 
+from .histogram import HistogramSnapshot, LatencyHistogram
 from .scheduler import LaneConfig, LaneStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -232,8 +233,18 @@ class ServerStats:
     cache: "CacheStats | None" = None
 
     def as_dict(self) -> dict:
-        """A JSON-serializable view (nested dataclasses become dicts)."""
-        return asdict(self)
+        """A JSON-serializable view (nested dataclasses become dicts).
+
+        Each lane's ``latency`` histogram is rendered through
+        :meth:`~repro.serve.histogram.HistogramSnapshot.as_dict` so the
+        JSON carries the derived p50/p95/p99 alongside the raw buckets
+        — ``asdict`` alone would flatten the snapshot to bare fields and
+        drop the quantiles operators actually read.
+        """
+        data = asdict(self)
+        for lane_dict, lane in zip(data["lanes"], self.lanes):
+            lane_dict["latency"] = lane.latency.as_dict()
+        return data
 
 
 class PredictionHandle:
@@ -307,17 +318,32 @@ class _StatCounters:
     table_builds: dict[int, int] = field(default_factory=dict)
     #: inproc-mode per-lane tallies keyed by lane name: [parts, rows, batches]
     lane_served: dict[str, list[int]] = field(default_factory=dict)
+    #: inproc-mode per-lane latency recorders (service time per request —
+    #: there is no queue to wait in, so this is the whole latency)
+    lane_hist: dict[str, LatencyHistogram] = field(default_factory=dict)
 
     def record_batch(self, rows: int) -> None:
         self.batches += 1
         self.batched_images += rows
         self.max_batch_seen = max(self.max_batch_seen, rows)
 
-    def record_lane(self, lane: str, parts: int, rows: int, batches: int) -> None:
+    def record_lane(
+        self,
+        lane: str,
+        parts: int,
+        rows: int,
+        batches: int,
+        latency_s: float | None = None,
+    ) -> None:
         tally = self.lane_served.setdefault(lane, [0, 0, 0])
         tally[0] += parts
         tally[1] += rows
         tally[2] += batches
+        if latency_s is not None:
+            hist = self.lane_hist.get(lane)
+            if hist is None:
+                hist = self.lane_hist.setdefault(lane, LatencyHistogram())
+            hist.record(latency_s)
 
     def inproc_lane_stats(
         self, lanes: tuple[LaneConfig, ...]
@@ -326,6 +352,7 @@ class _StatCounters:
         stats = []
         for lane in lanes:
             parts, rows, batches = self.lane_served.get(lane.name, (0, 0, 0))
+            hist = self.lane_hist.get(lane.name)
             stats.append(
                 LaneStats(
                     name=lane.name,
@@ -336,6 +363,10 @@ class _StatCounters:
                     served_rows=rows,
                     batches=batches,
                     expired=0,
+                    latency=(
+                        hist.snapshot() if hist is not None
+                        else HistogramSnapshot.empty()
+                    ),
                 )
             )
         return tuple(stats)

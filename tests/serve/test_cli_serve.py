@@ -187,3 +187,70 @@ class TestRouteCli:
         with pytest.raises(SystemExit, match="requires --http-port"):
             main(["route", "--model", f"{name}={path}", "--workers", "0",
                   "--serve-forever"])
+
+
+class TestRouteDaemonDrainSummary:
+    def test_sigterm_drain_logs_per_lane_quantiles(
+        self, model_path, serve_data
+    ):
+        """``route --serve-forever`` must end with a per-lane p50/p95
+        summary line (from the merged histogram snapshots) when SIGTERM
+        asks for the drain — the operator's last look at the tail."""
+        import json
+        import re
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        process = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                "from repro.cli import main; raise SystemExit(main("
+                f"['route', '--model', 'm={model_path}', '--workers', '0',"
+                " '--replicas', '1', '--http-port', '0',"
+                " '--serve-forever']))",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            address = None
+            for _ in range(200):
+                line = process.stdout.readline()
+                assert line, "daemon exited before listening"
+                match = re.search(r"listening on (http://[\d.:]+)", line)
+                if match:
+                    address = match.group(1)
+                    break
+            assert address, "never saw the listening line"
+            payload = json.dumps(
+                {"images": serve_data.test_images[:3].tolist()}
+            ).encode()
+            for _ in range(2):
+                request = urllib.request.Request(
+                    address + "/predict",
+                    data=payload,
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=30.0) as reply:
+                    assert json.load(reply)["rows"] == 3
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=60.0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert "signal received: draining deployments" in out
+        drain = re.search(
+            r"drain m/default: (\d+) served, "
+            r"p50 ([\d.]+)ms, p95 ([\d.]+)ms, (\d+) expired",
+            out,
+        )
+        assert drain, f"no drain summary in output:\n{out}"
+        assert int(drain.group(1)) == 2
+        assert float(drain.group(3)) >= float(drain.group(2)) >= 0.0
+        assert int(drain.group(4)) == 0
+        assert "shutdown clean" in out
