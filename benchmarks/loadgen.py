@@ -36,9 +36,13 @@ the gate-level-simulated encode energy from :mod:`repro.eval.energy`
 blanks the column).  CPU/RSS are read from ``/proc/<pid>`` when
 ``--server-pid`` is given (Linux only).
 
-stdlib-only at runtime: ``http.client`` keep-alive connections, no
-third-party dependencies — the only imports beyond the stdlib are the
-repo's own histogram and energy modules.
+``--transport http`` (default) speaks keep-alive ``http.client``;
+``--transport binary`` drives the framed socket protocol through
+:class:`repro.serve.BinaryClient` against a ``--binary-port`` endpoint
+— same schedule, same outcome taxonomy, same CSV schema (the
+``transport`` column tells the rows apart).  Beyond that client, the
+harness is stdlib-only at runtime — the only other non-stdlib imports
+are the repo's own histogram and energy modules.
 
 Usage::
 
@@ -46,6 +50,8 @@ Usage::
         --rps 50 --duration 10 --lanes interactive:4,bulk:1
     PYTHONPATH=src python benchmarks/loadgen.py --url ... --ramp 5,20,80
     PYTHONPATH=src python benchmarks/loadgen.py --url ... --smoke
+    PYTHONPATH=src python benchmarks/loadgen.py --url uhd://127.0.0.1:9090 \\
+        --transport binary --rps 200
 
 ``--smoke`` is the CI mode: a short fixed run that exits non-zero if
 any request failed (expired deadlines are counted separately and are
@@ -77,6 +83,7 @@ from repro.serve.histogram import HistogramSnapshot, LatencyHistogram
 CSV_COLUMNS = (
     "run",
     "process",
+    "transport",
     "lane",
     "offered_rps",
     "achieved_rps",
@@ -277,16 +284,32 @@ class OpenLoopRunner:
         concurrency: int,
         deadline_ms: float | None = None,
         timeout_s: float = 30.0,
+        transport: str = "http",
     ) -> None:
+        if transport not in ("http", "binary"):
+            raise ValueError(f"unknown transport {transport!r}")
         split = urlsplit(url)
-        if split.scheme != "http" or not split.hostname:
-            raise ValueError(f"need an http:// URL, got {url!r}")
+        allowed = ("http",) if transport == "http" else ("http", "uhd")
+        if split.scheme not in allowed or not split.hostname:
+            raise ValueError(
+                f"need a {' or '.join(s + '://' for s in allowed)} URL, "
+                f"got {url!r}"
+            )
+        self._transport = transport
         self._host = split.hostname
         self._port = split.port or 80
         self._path_prefix = split.path.rstrip("/")
         self._schedule = schedule
         self._body = body
         self._rows = rows
+        self._images = None
+        if transport == "binary":
+            import numpy as np
+
+            pixels = len(body) // rows if rows else 0
+            self._images = np.frombuffer(body, dtype=np.uint8).reshape(
+                rows, pixels
+            )
         self._concurrency = max(1, min(concurrency, len(schedule) or 1))
         self._deadline_ms = deadline_ms
         self._timeout_s = timeout_s
@@ -342,7 +365,28 @@ class OpenLoopRunner:
                 )
         return "failed", latency
 
+    def _record(self, tally: LaneTally, outcome: str, latency: float) -> None:
+        with self._lock:
+            if outcome == "ok":
+                tally.ok += 1
+            elif outcome == "expired":
+                tally.expired += 1
+            else:
+                tally.failed += 1
+        if outcome == "ok":
+            tally.hist.record(latency)
+        elif outcome == "expired":
+            tally.hist.exclude()
+
+    def _note_error(self, text: str) -> None:
+        with self._lock:
+            if len(self.errors) < 5:
+                self.errors.append(text)
+
     def _worker(self, start: float) -> None:
+        if self._transport == "binary":
+            self._worker_binary(start)
+            return
         conn = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout_s
         )
@@ -359,24 +403,59 @@ class OpenLoopRunner:
                 try:
                     outcome, latency = self._send_one(conn, lane)
                 except OSError as exc:
-                    with self._lock:
-                        if len(self.errors) < 5:
-                            self.errors.append(f"connection error: {exc}")
+                    self._note_error(f"connection error: {exc}")
                     outcome, latency = "failed", 0.0
                     conn.close()  # force a clean reconnect next request
-                with self._lock:
-                    if outcome == "ok":
-                        tally.ok += 1
-                    elif outcome == "expired":
-                        tally.expired += 1
-                    else:
-                        tally.failed += 1
-                if outcome == "ok":
-                    tally.hist.record(latency)
-                elif outcome == "expired":
-                    tally.hist.exclude()
+                self._record(tally, outcome, latency)
         finally:
             conn.close()
+
+    def _send_one_binary(self, client, lane: str | None):
+        """One framed round trip; returns (outcome, latency_s)."""
+        from repro.serve import DeadlineExpiredError, ServeError
+
+        t0 = time.monotonic()
+        try:
+            client.predict(
+                self._images, lane=lane, deadline_ms=self._deadline_ms
+            )
+        except DeadlineExpiredError:
+            return "expired", time.monotonic() - t0
+        except (ValueError, ServeError) as exc:
+            self._note_error(f"binary error: {exc}")
+            return "failed", time.monotonic() - t0
+        return "ok", time.monotonic() - t0
+
+    def _worker_binary(self, start: float) -> None:
+        from repro.serve import BinaryClient
+
+        client = None
+        try:
+            while True:
+                claimed = self._claim()
+                if claimed is None:
+                    return
+                offset, lane = claimed
+                delay = (start + offset) - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                tally = self._tally(lane)
+                try:
+                    if client is None:
+                        client = BinaryClient(
+                            self._host, self._port, timeout_s=self._timeout_s
+                        )
+                    outcome, latency = self._send_one_binary(client, lane)
+                except OSError as exc:
+                    self._note_error(f"connection error: {exc}")
+                    outcome, latency = "failed", 0.0
+                    if client is not None:  # reconnect on the next request
+                        client.close()
+                        client = None
+                self._record(tally, outcome, latency)
+        finally:
+            if client is not None:
+                client.close()
 
     def run(self) -> float:
         """Fire the whole schedule; returns the actual wall duration."""
@@ -408,6 +487,7 @@ def _fmt(value) -> str:
 def stage_rows(
     run_name: str,
     process: str,
+    transport: str,
     offered_rps: float,
     planned_duration_s: float,
     actual_duration_s: float,
@@ -425,6 +505,7 @@ def stage_rows(
         return {
             "run": run_name,
             "process": process,
+            "transport": transport,
             "lane": lane,
             "offered_rps": offered_rps,
             "achieved_rps": achieved,
@@ -501,7 +582,14 @@ def render_rows(rows: list[dict]) -> str:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--url", default="http://127.0.0.1:8080",
-                        help="base URL of the running server")
+                        help="base URL of the running server; with "
+                             "--transport binary, uhd://HOST:PORT (or "
+                             "http://HOST:PORT) naming the --binary-port "
+                             "endpoint")
+    parser.add_argument("--transport", default="http",
+                        choices=("http", "binary"),
+                        help="wire protocol: keep-alive HTTP or the framed "
+                             "binary fast lane (repro.serve.BinaryClient)")
     parser.add_argument("--rps", type=float, default=20.0,
                         help="offered request rate (per second)")
     parser.add_argument("--duration", type=float, default=5.0,
@@ -570,6 +658,7 @@ def main(argv: list[str] | None = None) -> int:
         runner = OpenLoopRunner(
             args.url, schedule, body, args.rows, args.concurrency,
             deadline_ms=args.deadline_ms, timeout_s=args.timeout,
+            transport=args.transport,
         )
         sampler = ProcSampler(args.server_pid)
         sampler.start()
@@ -578,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         rows = stage_rows(
             run_name=f"stage{index}",
             process=args.process,
+            transport=args.transport,
             offered_rps=rps,
             planned_duration_s=args.duration,
             actual_duration_s=actual,

@@ -15,8 +15,9 @@ Quickstart::
 Subpackages: :mod:`repro.api` (the stable public surface: Estimator
 protocol, named backend registry, versioned model persistence),
 :mod:`repro.serve` (multi-process serving: pluggable transports —
-in-process and stdlib HTTP — in front of a priority-lane scheduler and
-a warm-started worker pool, readiness probing — see ``docs/serving.md``),
+in-process, stdlib HTTP, and a framed binary socket fast lane — in
+front of a priority-lane scheduler and a warm-started worker pool,
+readiness probing — see ``docs/serving.md``),
 :mod:`repro.core` (the uHD contribution), :mod:`repro.hdc`
 (baseline HDC substrate), :mod:`repro.fastpath` (bit-packed and threaded
 backends: packed hypervectors, LUT encoding, popcount inference —
@@ -53,7 +54,7 @@ from .datasets import ImageDataset, load_dataset
 from .fastpath import PackedLevelEncoder, ThreadedLevelEncoder
 from .hdc import BaselineConfig, BaselineHDC, CentroidClassifier
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Backend",

@@ -357,6 +357,27 @@ def _http_round_trips(
     return answers
 
 
+def _binary_round_trips(
+    binary, queries, lane: str | None, deadline_ms: float | None,
+    model: str | None = None,
+):
+    """Pipeline each query batch over the framed binary transport."""
+    from .serve import BinaryClient
+
+    answers = []
+    with BinaryClient(binary.host, binary.port) as client:
+        for batch in queries:
+            client.send(
+                batch, lane=lane, model=model, deadline_ms=deadline_ms
+            )
+        # responses for one connection on one lane return in order here;
+        # the bench and loadgen match by request id instead
+        for _ in range(len(queries)):
+            _request_id, labels = client.recv()
+            answers.append(labels)
+    return answers
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     """Start a serving pool, answer predict round-trips, shut down cleanly.
 
@@ -371,14 +392,15 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
     import numpy as np
 
-    from .serve import HttpTransport, ServeConfig, UHDServer
+    from .serve import HttpTransport, ServeConfig, SocketTransport, UHDServer
 
-    if args.serve_forever and args.http_port is None:
+    if args.serve_forever and args.http_port is None and args.binary_port is None:
         # fail fast: a supervisor that believes it started a daemon must
         # not get a self-test run that exits after --rounds
         raise SystemExit(
-            "repro-uhd serve: --serve-forever requires --http-port "
-            "(there is no transport to keep serving without one)"
+            "repro-uhd serve: --serve-forever requires --http-port or "
+            "--binary-port (there is no transport to keep serving "
+            "without one)"
         )
     config = ServeConfig(
         workers=args.workers,
@@ -419,6 +441,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                     f"{probe_ms:.3f} ms{warm}"
                 )
             transport = None
+            binary = None
             if args.http_port is not None:
                 transport = HttpTransport(
                     server, host=args.http_host, port=args.http_port
@@ -427,8 +450,19 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                     f"  http: listening on {transport.address} "
                     "(POST /predict, GET /healthz, GET /stats, GET /metrics)"
                 )
+            if args.binary_port is not None:
+                # both transports feed the same scheduler — the binary
+                # fast lane coexists with HTTP on one server
+                binary = SocketTransport(
+                    server, host=args.http_host, port=args.binary_port
+                ).start()
+                lines.append(
+                    f"  binary: listening on {binary.address} "
+                    "(framed predict protocol; repro.serve.BinaryClient)"
+                )
             try:
-                if transport is not None and args.serve_forever:
+                if (transport is not None or binary is not None) and \
+                        args.serve_forever:
                     # daemon mode: print what we have, then block until a
                     # signal asks for the drain-and-exit path
                     print("\n".join(lines), flush=True)
@@ -437,7 +471,9 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                     lines.append("  signal received: draining lanes")
                 else:
                     lines.extend(
-                        _serve_round_trips(args, server, transport, rng, stop)
+                        _serve_round_trips(
+                            args, server, transport, rng, stop, binary=binary
+                        )
                     )
                 if transport is not None:
                     health = json.load(
@@ -462,6 +498,8 @@ def _cmd_serve(args: argparse.Namespace) -> str:
                     )
                     lines.append(f"  stats: {lane_report}")
             finally:
+                if binary is not None:
+                    binary.close()
                 if transport is not None:
                     transport.close()
             final = server.stats()
@@ -474,7 +512,9 @@ def _cmd_serve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _serve_round_trips(args, server, transport, rng, stop) -> list[str]:
+def _serve_round_trips(
+    args, server, transport, rng, stop, binary=None
+) -> list[str]:
     """The self-test rounds: submit, time, verify bit-exactness."""
     import numpy as np
 
@@ -485,7 +525,13 @@ def _serve_round_trips(args, server, transport, rng, stop) -> list[str]:
         dtype=np.uint8,
     )
     t0 = time.perf_counter()
-    if transport is not None:
+    if binary is not None:
+        # over the framed socket: one persistent pipelined connection
+        answers = _binary_round_trips(
+            binary, queries, lane=None, deadline_ms=args.deadline_ms
+        )
+        via = " via binary"
+    elif transport is not None:
         # over real HTTP: loopback socket, handler threads, JSON codec
         answers = _http_round_trips(
             transport, queries, lane=None, deadline_ms=args.deadline_ms
@@ -584,12 +630,19 @@ def _cmd_route(args: argparse.Namespace) -> str:
     """
     import numpy as np
 
-    from .serve import DeploymentSpec, HttpTransport, Router, ServeConfig
+    from .serve import (
+        DeploymentSpec,
+        HttpTransport,
+        Router,
+        ServeConfig,
+        SocketTransport,
+    )
 
-    if args.serve_forever and args.http_port is None:
+    if args.serve_forever and args.http_port is None and args.binary_port is None:
         raise SystemExit(
-            "repro-uhd route: --serve-forever requires --http-port "
-            "(there is no transport to keep serving without one)"
+            "repro-uhd route: --serve-forever requires --http-port or "
+            "--binary-port (there is no transport to keep serving "
+            "without one)"
         )
     config = ServeConfig(
         workers=args.workers,
@@ -630,6 +683,7 @@ def _cmd_route(args: argparse.Namespace) -> str:
                     f"({row['path']})"
                 )
             transport = None
+            binary = None
             if args.http_port is not None:
                 transport = HttpTransport(
                     router, host=args.http_host, port=args.http_port
@@ -639,8 +693,18 @@ def _cmd_route(args: argparse.Namespace) -> str:
                     "(POST /models/<id>/predict, GET /models, GET /healthz, "
                     "GET /metrics)"
                 )
+            if args.binary_port is not None:
+                binary = SocketTransport(
+                    router, host=args.http_host, port=args.binary_port
+                ).start()
+                lines.append(
+                    f"  binary: listening on {binary.address} "
+                    "(framed predict protocol, model id in-frame; "
+                    "repro.serve.BinaryClient)"
+                )
             try:
-                if transport is not None and args.serve_forever:
+                if (transport is not None or binary is not None) and \
+                        args.serve_forever:
                     print("\n".join(lines), flush=True)
                     lines = []
                     while not stop.wait(0.2):
@@ -671,7 +735,11 @@ def _cmd_route(args: argparse.Namespace) -> str:
                                 f"{snap.excluded} expired"
                             )
                 else:
-                    lines.extend(_route_round_trips(args, router, transport, rng, stop))
+                    lines.extend(
+                        _route_round_trips(
+                            args, router, transport, rng, stop, binary=binary
+                        )
+                    )
                 health = router.healthz()
                 lines.append(
                     f"  healthz: {health['status']} "
@@ -686,13 +754,17 @@ def _cmd_route(args: argparse.Namespace) -> str:
                         "retired replica(s)"
                     )
             finally:
+                if binary is not None:
+                    binary.close()
                 if transport is not None:
                     transport.close()
     lines.append("  shutdown clean")
     return "\n".join(lines)
 
 
-def _route_round_trips(args, router, transport, rng, stop) -> list[str]:
+def _route_round_trips(
+    args, router, transport, rng, stop, binary=None
+) -> list[str]:
     """Mixed-model self-test rounds, optionally reloading mid-run."""
     import numpy as np
 
@@ -726,7 +798,12 @@ def _route_round_trips(args, router, transport, rng, stop) -> list[str]:
             batch = rng.integers(
                 0, 256, size=(args.batch, pixels), dtype=np.uint8
             )
-            if transport is not None:
+            if binary is not None:
+                answer = _binary_round_trips(
+                    binary, [batch], lane=None, deadline_ms=None,
+                    model=model_id,
+                )[0]
+            elif transport is not None:
                 answer = _http_round_trips(
                     transport, [batch], lane=None, deadline_ms=None,
                     path=f"/models/{model_id}/predict",
@@ -848,13 +925,22 @@ def _configure_serve(parser: argparse.ArgumentParser) -> None:
         "ephemeral port; the self-test round-trips then go over real HTTP",
     )
     parser.add_argument(
+        "--binary-port", type=int, default=None, metavar="PORT",
+        help="put the framed binary transport in front (length-prefixed "
+        "predict frames over persistent connections; see repro.serve."
+        "BinaryClient); 0 binds an ephemeral port; may coexist with "
+        "--http-port — both feed the same scheduler; when set, the "
+        "self-test round-trips go over the binary wire",
+    )
+    parser.add_argument(
         "--http-host", default="127.0.0.1",
-        help="interface the HTTP transport binds (default: %(default)s)",
+        help="interface the HTTP and binary transports bind "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--serve-forever", action="store_true",
-        help="with --http-port: skip the self-test rounds and serve until "
-        "SIGTERM/SIGINT, then drain and exit",
+        help="with --http-port/--binary-port: skip the self-test rounds "
+        "and serve until SIGTERM/SIGINT, then drain and exit",
     )
     parser.add_argument(
         "--rounds", type=int, default=3,
@@ -922,13 +1008,21 @@ def _configure_route(parser: argparse.ArgumentParser) -> None:
         "ephemeral port; the self-test round-trips then go over real HTTP",
     )
     parser.add_argument(
+        "--binary-port", type=int, default=None, metavar="PORT",
+        help="put the framed binary transport in front (model id travels "
+        "in-frame; see repro.serve.BinaryClient); 0 binds an ephemeral "
+        "port; may coexist with --http-port — both feed the same router",
+    )
+    parser.add_argument(
         "--http-host", default="127.0.0.1",
-        help="interface the HTTP transport binds (default: %(default)s)",
+        help="interface the HTTP and binary transports bind "
+        "(default: %(default)s)",
     )
     parser.add_argument(
         "--serve-forever", action="store_true",
-        help="with --http-port: serve until SIGTERM/SIGINT (concurrent "
-        "drain), performing a rolling hot reload of every model on SIGHUP",
+        help="with --http-port/--binary-port: serve until SIGTERM/SIGINT "
+        "(concurrent drain), performing a rolling hot reload of every "
+        "model on SIGHUP",
     )
     parser.add_argument(
         "--reload", action="store_true",

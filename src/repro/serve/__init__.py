@@ -11,12 +11,19 @@ it was holding — which the front-end re-queues.
 The request path is three explicit layers (see ``docs/serving.md`` for
 the operator guide and ``docs/ARCHITECTURE.md`` for the full picture):
 
-* **Transport** (:mod:`repro.serve.transport`) — how requests arrive:
-  :class:`InProcessTransport` (plain Python calls) or
+* **Transport** (:mod:`repro.serve.transport` /
+  :mod:`repro.serve.binary`) — how requests arrive:
+  :class:`InProcessTransport` (plain Python calls),
   :class:`HttpTransport` (stdlib-only threaded HTTP: ``POST /predict``,
   ``GET /healthz`` backed by the readiness probe, ``GET /stats``, and a
   Prometheus ``GET /metrics`` rendered by :mod:`repro.serve.metrics`
-  from the per-lane latency histograms in :mod:`repro.serve.histogram`).
+  from the per-lane latency histograms in :mod:`repro.serve.histogram`),
+  or :class:`SocketTransport` — the **binary fast lane**: a framed
+  length-prefixed protocol over persistent connections driven by one
+  ``selectors`` event loop, pixels zero-copied from the receive buffer
+  into scheduler batch assembly (:class:`BinaryClient` is the matching
+  pipelining-capable client).  Transports can coexist: HTTP and binary
+  ports can front the *same* server, feeding one scheduler.
 * **Scheduler** (:mod:`repro.serve.scheduler`) — queueing/coalescing
   policy: named priority lanes (:class:`LaneConfig`) with per-lane
   ``max_batch``/``max_wait_ms``, weighted anti-starvation draining, and
@@ -60,6 +67,7 @@ routes, but never transforms data.
 """
 
 from .batcher import MicroBatcher
+from .binary import BinaryClient, SocketTransport
 from .cache import CacheStats, EncoderCache, encoder_cache
 from .histogram import HistogramSnapshot, LatencyHistogram
 from .metrics import parse_exposition, render_metrics
@@ -68,7 +76,13 @@ from .replica import Replica, RoutedHandle
 from .router import DeploymentSpec, ModelDeployment, Router
 from .scheduler import LaneConfig, LaneStats, ScheduledBatch, Scheduler
 from .server import UHDServer
-from .transport import HttpTransport, InProcessTransport, Transport
+from .transport import (
+    HttpTransport,
+    InProcessTransport,
+    Transport,
+    TransportSnapshot,
+    TransportStats,
+)
 from .types import (
     DeadlineExpiredError,
     PredictionHandle,
@@ -79,6 +93,7 @@ from .types import (
 )
 
 __all__ = [
+    "BinaryClient",
     "CacheStats",
     "DeadlineExpiredError",
     "DeploymentSpec",
@@ -101,7 +116,10 @@ __all__ = [
     "ServeConfig",
     "ServeError",
     "ServerStats",
+    "SocketTransport",
     "Transport",
+    "TransportSnapshot",
+    "TransportStats",
     "UHDServer",
     "WorkerCrashError",
     "encoder_cache",

@@ -33,6 +33,11 @@ Single-server mode (no labels unless noted):
 ``uhd_lane_served_rows_total``        counter  rows served, per ``{lane}``
 ``uhd_lane_expired_total``            counter  items expired, per ``{lane}``
 ``uhd_lane_latency_seconds``          histogram  scheduling latency, per ``{lane}``
+``uhd_transport_connections``         gauge    open connections, per ``{transport}``
+``uhd_transport_connections_total``   counter  connections accepted, per ``{transport}``
+``uhd_transport_frames_total``        counter  frames/requests, per ``{transport,direction}``
+``uhd_transport_bytes_total``         counter  payload bytes, per ``{transport,direction}``
+``uhd_transport_malformed_frames_total``  counter  unparseable frames, per ``{transport}``
 ``uhd_cache_encoders``                gauge    encoder-cache entries (process-wide)
 ``uhd_cache_table_bytes``             gauge    gather-table bytes cached
 ``uhd_cache_publications``            gauge    live table-store publications
@@ -79,6 +84,22 @@ _HELP = {
     "uhd_cache_encoders": "Warm encoders in the process-wide cache.",
     "uhd_cache_table_bytes": "Gather-table bytes held by cached encoders.",
     "uhd_cache_publications": "Live gather-table publications (mmap/shm stores).",
+    "uhd_transport_connections": (
+        "Client connections currently open, per transport kind."
+    ),
+    "uhd_transport_connections_total": (
+        "Client connections accepted since start, per transport kind."
+    ),
+    "uhd_transport_frames_total": (
+        "Frames (binary) or requests (http) moved, per transport and "
+        "direction (in/out)."
+    ),
+    "uhd_transport_bytes_total": (
+        "Payload bytes moved, per transport and direction (in/out)."
+    ),
+    "uhd_transport_malformed_frames_total": (
+        "Frames/requests rejected as unparseable, per transport kind."
+    ),
     "uhd_deployment_generation": "Current model generation (bumped by hot reload).",
     "uhd_deployment_target_replicas": "Replica count the deployment converges to.",
     "uhd_deployment_ready_replicas": "Replicas currently in the ready state.",
@@ -205,6 +226,39 @@ def _lane_rows(
             exp.add_histogram("uhd_lane_latency_seconds", lane_labels, latency)
 
 
+def _transport_rows(exp: _Exposition, snapshots: Iterable[Any]) -> None:
+    """Per-transport wire counters; one label set per transport kind."""
+    for snap in snapshots:
+        labels = {"transport": snap.name}
+        exp.add("uhd_transport_connections", labels, snap.connections_open)
+        exp.add(
+            "uhd_transport_connections_total", labels, snap.connections_total
+        )
+        exp.add(
+            "uhd_transport_frames_total",
+            {**labels, "direction": "in"},
+            snap.frames_in,
+        )
+        exp.add(
+            "uhd_transport_frames_total",
+            {**labels, "direction": "out"},
+            snap.frames_out,
+        )
+        exp.add(
+            "uhd_transport_bytes_total",
+            {**labels, "direction": "in"},
+            snap.bytes_in,
+        )
+        exp.add(
+            "uhd_transport_bytes_total",
+            {**labels, "direction": "out"},
+            snap.bytes_out,
+        )
+        exp.add(
+            "uhd_transport_malformed_frames_total", labels, snap.malformed
+        )
+
+
 def _cache_rows(exp: _Exposition, cache: Any) -> None:
     if cache is None:
         return
@@ -229,6 +283,7 @@ def render_metrics(server: Any) -> str:
         exp.add("uhd_workers", {}, stats.workers)
         exp.add("uhd_mean_batch_size", {}, stats.mean_batch_size)
         _lane_rows(exp, stats.lanes, {})
+        _transport_rows(exp, getattr(stats, "transports", ()))
         _cache_rows(exp, getattr(stats, "cache", None))
         return exp.render()
 
@@ -254,6 +309,10 @@ def render_metrics(server: Any) -> str:
             for lane in stats["lanes"]
         ]
         _lane_rows(exp, lanes, labels)
+    # transports front the router as a whole, not any one deployment
+    transport_stats = getattr(server, "transport_stats", None)
+    if transport_stats is not None:
+        _transport_rows(exp, transport_stats())
     # the encoder cache is process-wide, not per-deployment
     from .cache import encoder_cache
 

@@ -153,6 +153,15 @@ class RoutedHandle:
         """Whether :meth:`result` would return (or raise) without blocking."""
         return self._handle.done()
 
+    def add_done_callback(self, callback: Callable[["RoutedHandle"], None]) -> None:
+        """Invoke ``callback(self)`` once the request reaches a terminal state.
+
+        Delegates to the wrapped handle; the callback receives *this*
+        handle so that calling :meth:`result` inside it releases the
+        replica slot as usual.
+        """
+        self._handle.add_done_callback(lambda _inner: callback(self))
+
     def _release_once(self) -> None:
         with self._lock:
             if self._released:

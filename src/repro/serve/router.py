@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from .histogram import HistogramSnapshot
@@ -619,6 +619,8 @@ class Router:
         self._started = False
         self._closed = False
         self._lock = threading.Lock()
+        #: wire counters of transports fronting this router (attach_transport)
+        self._transports: list[Any] = []
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> "Router":
@@ -763,6 +765,25 @@ class Router:
             "models": deployments,
         }
 
+    def attach_transport(self, stats: Any) -> None:
+        """Register a fronting transport's wire counters (same as UHDServer)."""
+        with self._lock:
+            if all(existing is not stats for existing in self._transports):
+                self._transports.append(stats)
+
+    def transport_stats(self) -> tuple:
+        """Per-kind merged wire counters of every attached transport."""
+        from .transport import TransportSnapshot
+
+        with self._lock:
+            transports = list(self._transports)
+        return TransportSnapshot.merged(t.snapshot() for t in transports)
+
     def stats(self) -> dict:
         """Aggregated stats for every deployment (``GET /stats``)."""
-        return {"models": [d.stats() for d in self._deployments.values()]}
+        return {
+            "models": [d.stats() for d in self._deployments.values()],
+            "transports": [
+                asdict(snap) for snap in self.transport_stats()
+            ],
+        }

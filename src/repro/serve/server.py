@@ -173,6 +173,8 @@ class UHDServer:
         self._table_handle: Any = None
         #: test hook — the next N dispatched batches kill their worker
         self._crash_next = 0
+        #: wire counters of transports fronting this server (attach_transport)
+        self._transports: list[Any] = []
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -790,6 +792,28 @@ class UHDServer:
         """The resolved lane set (after start()); first entry is default."""
         return self._lanes
 
+    def attach_transport(self, stats: Any) -> None:
+        """Register a transport's :class:`~repro.serve.transport.TransportStats`.
+
+        Transports call this from ``start()`` so their wire counters
+        (connections, frames, bytes, malformed) surface through
+        :meth:`stats` and ``/metrics`` — the server stays wire-agnostic,
+        it only aggregates.  Counters persist after the transport
+        closes (they are totals); attaching the same object twice is a
+        no-op.
+        """
+        with self._lock:
+            if all(existing is not stats for existing in self._transports):
+                self._transports.append(stats)
+
+    def transport_stats(self) -> tuple:
+        """Per-kind merged wire counters of every attached transport."""
+        from .transport import TransportSnapshot
+
+        with self._lock:
+            transports = list(self._transports)
+        return TransportSnapshot.merged(t.snapshot() for t in transports)
+
     def stats(self) -> ServerStats:
         """A :class:`ServerStats` snapshot of the counters so far.
 
@@ -803,6 +827,7 @@ class UHDServer:
             scheduler.stats() if scheduler is not None else ()
         )
         cache_stats = encoder_cache().stats()
+        transports = self.transport_stats()
         with self._lock:
             if scheduler is None:
                 lane_stats = self._stats.inproc_lane_stats(self._lanes)
@@ -811,6 +836,7 @@ class UHDServer:
                 workers=self.config.workers,
                 lanes=lane_stats,
                 cache=cache_stats,
+                transports=transports,
             )
 
     def healthz(self) -> dict:

@@ -27,7 +27,10 @@ HTTP endpoints
     accepted as query parameters), or raw ``application/octet-stream``
     uint8 bytes — row count inferred from the model's pixel count, or
     pinned with an ``X-UHD-Rows`` header.  Responds
-    ``{"labels": [...], "rows": N, "lane": ...}``.  Labels are
+    ``{"labels": [...], "rows": N, "lane": ...}`` — or, with
+    ``Accept: application/octet-stream``, raw little-endian int64 label
+    bytes (``X-UHD-Rows`` response header carries the count) so a bulk
+    client can skip JSON entirely in both directions.  Labels are
     **bit-exact** with ``UHDClassifier.predict``: the transport decodes
     bytes into the same uint8 arrays an in-process caller would pass,
     and the server only routes (contract 5 in ``docs/ARCHITECTURE.md``).
@@ -85,7 +88,8 @@ from __future__ import annotations
 import json
 import re
 import threading
-from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -94,7 +98,114 @@ from .types import DeadlineExpiredError, ServeError
 if TYPE_CHECKING:  # pragma: no cover
     from .server import UHDServer
 
-__all__ = ["Transport", "InProcessTransport", "HttpTransport"]
+__all__ = [
+    "Transport",
+    "TransportSnapshot",
+    "TransportStats",
+    "InProcessTransport",
+    "HttpTransport",
+]
+
+
+@dataclass(frozen=True)
+class TransportSnapshot:
+    """Point-in-time wire counters of one transport (or one kind of them).
+
+    ``frames`` means "requests" on HTTP and literal frames on the binary
+    transport; ``bytes`` counts payload bytes (HTTP bodies, binary frame
+    bytes) so the two wires are comparable per request served.
+    """
+
+    name: str  #: transport kind — ``"http"`` or ``"binary"``
+    connections_open: int
+    connections_total: int
+    frames_in: int
+    frames_out: int
+    bytes_in: int
+    bytes_out: int
+    malformed: int  #: frames/requests rejected as unparseable (HTTP 400s)
+
+    @classmethod
+    def merged(
+        cls, snapshots: "Iterable[TransportSnapshot]"
+    ) -> "tuple[TransportSnapshot, ...]":
+        """Sum counters per transport name, preserving first-seen order.
+
+        Two transports of the same kind over one server (possible in
+        tests) must not emit duplicate Prometheus series — merging here
+        keeps ``/metrics`` one row per ``{transport=...}`` label value.
+        """
+        order: list[str] = []
+        acc: dict[str, list[int]] = {}
+        for snap in snapshots:
+            if snap.name not in acc:
+                order.append(snap.name)
+                acc[snap.name] = [0] * 7
+            row = acc[snap.name]
+            row[0] += snap.connections_open
+            row[1] += snap.connections_total
+            row[2] += snap.frames_in
+            row[3] += snap.frames_out
+            row[4] += snap.bytes_in
+            row[5] += snap.bytes_out
+            row[6] += snap.malformed
+        return tuple(cls(name, *acc[name]) for name in order)
+
+
+class TransportStats:
+    """Thread-safe mutable counters behind :class:`TransportSnapshot`.
+
+    Each transport owns one and registers it with the server it fronts
+    (``server.attach_transport``) so ``/stats`` and ``/metrics`` can
+    report per-wire traffic without the server knowing wire details.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._connections_open = 0
+        self._connections_total = 0
+        self._frames_in = 0
+        self._frames_out = 0
+        self._bytes_in = 0
+        self._bytes_out = 0
+        self._malformed = 0
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self._connections_open += 1
+            self._connections_total += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self._connections_open -= 1
+
+    def frame_in(self, nbytes: int) -> None:
+        with self._lock:
+            self._frames_in += 1
+            self._bytes_in += nbytes
+
+    def frame_out(self, nbytes: int) -> None:
+        with self._lock:
+            self._frames_out += 1
+            self._bytes_out += nbytes
+
+    def malformed_frame(self) -> None:
+        with self._lock:
+            self._malformed += 1
+
+    def snapshot(self) -> TransportSnapshot:
+        with self._lock:
+            return TransportSnapshot(
+                name=self.name,
+                connections_open=self._connections_open,
+                connections_total=self._connections_total,
+                frames_in=self._frames_in,
+                frames_out=self._frames_out,
+                bytes_in=self._bytes_in,
+                bytes_out=self._bytes_out,
+                malformed=self._malformed,
+            )
 
 
 @runtime_checkable
@@ -184,6 +295,9 @@ class HttpTransport:
         self._request_timeout_s = request_timeout_s
         self._httpd: Any = None
         self._thread: threading.Thread | None = None
+        #: wire counters surfaced through ``server.stats().transports``
+        self.stats = TransportStats("http")
+        self._attached = False
 
     def start(self) -> "HttpTransport":
         """Bind the socket and start accepting connections."""
@@ -191,7 +305,14 @@ class HttpTransport:
             return self
         from http.server import ThreadingHTTPServer
 
-        handler = _make_handler(self._server, self._request_timeout_s)
+        if not self._attached:
+            attach = getattr(self._server, "attach_transport", None)
+            if attach is not None:
+                attach(self.stats)
+            self._attached = True
+        handler = _make_handler(
+            self._server, self._request_timeout_s, self.stats
+        )
         self._httpd = ThreadingHTTPServer(
             (self._host, self._requested_port), handler
         )
@@ -252,18 +373,22 @@ class HttpTransport:
 _MODEL_PATH_RE = re.compile(r"^/models/([^/]+)/(predict|stats|healthz)$")
 
 
-def _make_handler(server: Any, request_timeout_s: float):
+def _make_handler(
+    server: Any, request_timeout_s: float, stats: TransportStats | None = None
+):
     """Build the request-handler class bound to ``server``.
 
     ``server`` is either a :class:`UHDServer` or a ``Router`` (duck-typed
     on ``deployment``/``models``); router mode adds the ``/models/...``
     endpoints.  A fresh class per transport keeps two transports over
     different servers in one process from sharing state through class
-    attributes.
+    attributes.  ``stats`` receives per-connection/request/byte counters
+    when provided.
     """
     from http.server import BaseHTTPRequestHandler
 
     is_router = hasattr(server, "deployment") and hasattr(server, "models")
+    wire = stats if stats is not None else TransportStats("http")
 
     class Handler(BaseHTTPRequestHandler):
         protocol_version = "HTTP/1.1"
@@ -272,6 +397,17 @@ def _make_handler(server: Any, request_timeout_s: float):
 
         def log_message(self, *args: Any) -> None:  # pragma: no cover
             pass  # stay quiet; operators have /stats
+
+        # -------------------------------------------------- connection
+        def setup(self) -> None:
+            super().setup()
+            wire.connection_opened()
+
+        def finish(self) -> None:
+            try:
+                super().finish()
+            finally:
+                wire.connection_closed()
 
         # -------------------------------------------------- responses
         def _send_json(self, status: int, payload: dict) -> None:
@@ -283,6 +419,7 @@ def _make_handler(server: Any, request_timeout_s: float):
                 self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
+            wire.frame_out(len(body))
 
         def _send_error_json(self, status: int, message: str) -> None:
             # error paths may not have consumed the request body; keeping
@@ -290,10 +427,13 @@ def _make_handler(server: Any, request_timeout_s: float):
             # parsed as the next request line, poisoning a perfectly good
             # follow-up — close instead (and say so to the client)
             self.close_connection = True
+            if status == 400:
+                wire.malformed_frame()
             self._send_json(status, {"error": message})
 
         # -------------------------------------------------- GET
         def do_GET(self) -> None:
+            wire.frame_in(0)
             path = self.path.split("?", 1)[0]
             if path == "/healthz":
                 health = server.healthz()
@@ -316,6 +456,7 @@ def _make_handler(server: Any, request_timeout_s: float):
                     self.send_header("Connection", "close")
                 self.end_headers()
                 self.wfile.write(body)
+                wire.frame_out(len(body))
             elif is_router and path == "/models":
                 self._send_json(200, {"models": server.models()})
             elif is_router and (match := _MODEL_PATH_RE.match(path)):
@@ -362,6 +503,7 @@ def _make_handler(server: Any, request_timeout_s: float):
             return (deployment.submit, deployment.num_pixels, model_id), None, None
 
         def do_POST(self) -> None:
+            wire.frame_in(int(self.headers.get("Content-Length") or 0))
             path = self.path.split("?", 1)[0]
             target, status, message = self._resolve_predict_target(path)
             if target is None:
@@ -395,6 +537,24 @@ def _make_handler(server: Any, request_timeout_s: float):
                 return
             except ServeError as exc:
                 self._send_error_json(503, str(exc))
+                return
+            accept = (self.headers.get("Accept") or "").split(";")[0].strip()
+            if accept == "application/octet-stream":
+                # raw int64 little-endian label bytes — skips the float->
+                # decimal->parse JSON round trip entirely (the cheap first
+                # rung of the binary fast lane; see docs/serving.md)
+                body = labels.astype("<i8", copy=False).tobytes()
+                self.send_response(200)
+                self.send_header("Content-Type", "application/octet-stream")
+                self.send_header("Content-Length", str(len(body)))
+                self.send_header("X-UHD-Rows", str(int(labels.shape[0])))
+                if model_id is not None:
+                    self.send_header("X-UHD-Model", model_id)
+                if self.close_connection:
+                    self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.write(body)
+                wire.frame_out(len(body))
                 return
             payload = {
                 "labels": [int(label) for label in labels],

@@ -24,9 +24,12 @@ from .histogram import HistogramSnapshot, LatencyHistogram
 from .scheduler import LaneConfig, LaneStats
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable
+
     import numpy as np
 
     from .cache import CacheStats
+    from .transport import TransportSnapshot
 
 __all__ = [
     "DeadlineExpiredError",
@@ -231,6 +234,10 @@ class ServerStats:
     expired: int = 0
     #: process-wide encoder-cache snapshot (entries, table bytes, publications)
     cache: "CacheStats | None" = None
+    #: per-transport wire counters (connections, frames, bytes, malformed),
+    #: one row per attached transport kind — empty when no transport is
+    #: attached (plain in-process callers)
+    transports: "tuple[TransportSnapshot, ...]" = ()
 
     def as_dict(self) -> dict:
         """A JSON-serializable view (nested dataclasses become dicts).
@@ -263,22 +270,49 @@ class PredictionHandle:
         self._error: BaseException | None = None
         self._done = threading.Event()
         self._lock = threading.Lock()
+        self._callbacks: list["Callable[[PredictionHandle], None]"] = []
         if parts == 0:  # empty request: nothing to wait for
             self._done.set()
 
     def _complete_part(self, index: int, labels: "np.ndarray") -> None:
+        callbacks: list = []
         with self._lock:
             if self._results[index] is None:
                 self._results[index] = labels
                 self._parts_left -= 1
-            if self._parts_left == 0:
+            if self._parts_left == 0 and not self._done.is_set():
                 self._done.set()
+                callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
 
     def _fail(self, error: BaseException) -> None:
+        callbacks: list = []
         with self._lock:
             if self._error is None:
                 self._error = error
-            self._done.set()
+            if not self._done.is_set():
+                self._done.set()
+                callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(
+        self, callback: "Callable[[PredictionHandle], None]"
+    ) -> None:
+        """Invoke ``callback(handle)`` once the request completes (or fails).
+
+        Runs on whichever thread completes the request — the collector
+        thread in pool mode, the submitting thread in-process — or
+        immediately on the calling thread when already done.  This is
+        what lets an event-loop transport hand off a request without
+        parking a thread on :meth:`result`; the callback must not block.
+        """
+        with self._lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     def done(self) -> bool:
         """Whether :meth:`result` would return (or raise) without blocking."""
@@ -377,6 +411,7 @@ class _StatCounters:
         workers: int,
         lanes: tuple[LaneStats, ...] = (),
         cache: "CacheStats | None" = None,
+        transports: "tuple[TransportSnapshot, ...]" = (),
     ) -> ServerStats:
         mean = self.batched_images / self.batches if self.batches else 0.0
         return ServerStats(
@@ -397,4 +432,5 @@ class _StatCounters:
             lanes=lanes,
             expired=sum(lane.expired for lane in lanes),
             cache=cache,
+            transports=transports,
         )

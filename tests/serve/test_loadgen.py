@@ -102,10 +102,10 @@ class TestLaneSpecs:
 class TestRunTable:
     def test_csv_schema_is_pinned(self):
         assert loadgen.CSV_COLUMNS == (
-            "run", "process", "lane", "offered_rps", "achieved_rps",
-            "duration_s", "requests", "ok", "failed", "expired",
-            "failure_rate", "expiry_rate", "p50_ms", "p95_ms", "p99_ms",
-            "mean_ms", "cpu_pct", "rss_mb", "joules_per_request",
+            "run", "process", "transport", "lane", "offered_rps",
+            "achieved_rps", "duration_s", "requests", "ok", "failed",
+            "expired", "failure_rate", "expiry_rate", "p50_ms", "p95_ms",
+            "p99_ms", "mean_ms", "cpu_pct", "rss_mb", "joules_per_request",
         )
 
     def test_stage_rows_aggregate_lanes(self):
@@ -117,9 +117,10 @@ class TestRunTable:
         tallies["bulk"].hist.record(0.05)
         tallies["bulk"].hist.exclude()
         rows = loadgen.stage_rows(
-            "stage0", "poisson", 10.0, 1.0, 1.0, tallies,
+            "stage0", "poisson", "http", 10.0, 1.0, 1.0, tallies,
             cpu_pct=12.5, rss_mb=64.0, joules_per_request=1e-9,
         )
+        assert all(row["transport"] == "http" for row in rows)
         assert [row["lane"] for row in rows] == [
             "bulk", "interactive", loadgen.ALL_LANES,
         ]
@@ -174,6 +175,41 @@ class TestLiveSmoke:
         assert float(total["joules_per_request"]) > 0.0
         # client- and server-side accounting agree on request count
         assert int(total["ok"]) == stats.requests
+
+    def test_smoke_run_over_the_binary_transport(
+        self, model_path, serve_data, tmp_path
+    ):
+        """Same smoke over the framed socket wire — zero failures, same
+        CSV schema, transport column says 'binary'."""
+        from repro.serve import SocketTransport
+
+        csv_path = tmp_path / "run_table.csv"
+        with UHDServer(model_path, ServeConfig(workers=0)) as server:
+            with SocketTransport(server) as transport:
+                rc = loadgen.main([
+                    "--url", transport.address,  # uhd://host:port
+                    "--transport", "binary",
+                    "--smoke",
+                    "--rps", "25",
+                    "--duration", "1.0",
+                    "--pixels", str(serve_data.num_pixels),
+                    "--dim", "256",
+                    "--csv", str(csv_path),
+                ])
+                stats = server.stats()
+        assert rc == 0
+        with open(csv_path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows, "run table is empty"
+        assert tuple(rows[0].keys()) == loadgen.CSV_COLUMNS
+        assert all(row["transport"] == "binary" for row in rows)
+        total = next(r for r in rows if r["lane"] == loadgen.ALL_LANES)
+        assert int(total["failed"]) == 0
+        assert int(total["ok"]) >= 1
+        assert int(total["ok"]) == stats.requests
+        (snap,) = stats.transports
+        assert snap.name == "binary"
+        assert snap.frames_in == stats.requests
 
     def test_smoke_fails_loudly_when_requests_fail(self, tmp_path):
         """Against a dead endpoint every request fails -> exit code 1."""

@@ -41,6 +41,7 @@ SERVER_STATS_KEYS = {
     "lanes",
     "expired",
     "cache",
+    "transports",
 }
 
 LANE_KEYS = {
@@ -143,8 +144,9 @@ class TestRouterStatsSchema:
 
     def test_router_document(self, documents):
         router_stats, _ = documents
-        assert set(router_stats) == {"models"}
+        assert set(router_stats) == {"models", "transports"}
         assert len(router_stats["models"]) == 1
+        assert router_stats["transports"] == []  # no transport attached
 
     def test_deployment_document(self, documents):
         _, deployment_stats = documents

@@ -86,6 +86,32 @@ class TestHttpPredict:
             reply = json.load(response)
         assert np.array_equal(np.asarray(reply["labels"]), direct_labels[:5])
 
+    def test_octet_stream_response_bit_exact(
+        self, inproc_http, serve_data, direct_labels
+    ):
+        """``Accept: application/octet-stream`` skips the JSON response
+        codec: the body is raw little-endian int64 labels, with the row
+        count echoed in ``X-UHD-Rows``."""
+        _, transport = inproc_http
+        request = urllib.request.Request(
+            transport.address + "/predict",
+            data=np.ascontiguousarray(
+                serve_data.test_images[:6], dtype=np.uint8
+            ).tobytes(),
+            headers={
+                "Content-Type": "application/octet-stream",
+                "Accept": "application/octet-stream",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            assert response.headers["Content-Type"] == (
+                "application/octet-stream"
+            )
+            assert int(response.headers["X-UHD-Rows"]) == 6
+            raw = response.read()
+        labels = np.frombuffer(raw, dtype="<i8")
+        assert np.array_equal(labels, direct_labels[:6])
+
     def test_lane_selected_via_body_and_query(
         self, inproc_http, serve_data, direct_labels
     ):
